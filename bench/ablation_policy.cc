@@ -1,0 +1,88 @@
+// Ablation: rate-limiter aggressiveness. §3.2's thresholds (CGI rate, GET
+// rate, error count) trade abuse suppression against human collateral.
+// Sweeps the CGI-rate threshold while scaling the others proportionally,
+// reporting abusive requests served (complaint fuel) and human sessions
+// wrongly blocked.
+//
+// Usage: ablation_policy [num_clients]   (default 1200)
+#include "bench/bench_util.h"
+
+using namespace robodet;
+
+int main(int argc, char** argv) {
+  const size_t num_clients = ClientsFromArgs(argc, argv, 1200);
+  PrintHeader("Ablation — policy thresholds vs. abuse served and human collateral");
+
+  // Baseline first: abuse volume with enforcement off.
+  uint64_t baseline_served = 0;
+  {
+    ExperimentConfig config;
+    config.seed = 99;
+    config.num_clients = num_clients;
+    config.site.num_pages = 150;
+    config.proxy.enable_policy = false;
+    Experiment experiment(config);
+    experiment.Run();
+    for (const char* type : {"referrer_spammer", "click_fraud", "vuln_scanner"}) {
+      const auto it = experiment.type_stats().find(type);
+      if (it != experiment.type_stats().end()) {
+        baseline_served += it->second.requests;
+      }
+    }
+  }
+  std::printf("\n  no-policy baseline: %llu abusive requests served\n",
+              static_cast<unsigned long long>(baseline_served));
+
+  std::printf("\n  %-14s %12s %12s %14s %12s\n", "cgi/min limit", "abusive req",
+              "served", "vs baseline", "humans blk");
+  for (double cgi_limit : {5.0, 10.0, 20.0, 40.0, 80.0, 1e9}) {
+    ExperimentConfig config;
+    config.seed = 99;
+    config.num_clients = num_clients;
+    config.site.num_pages = 150;
+    config.proxy.enable_policy = true;
+    config.proxy.policy.max_cgi_per_minute = cgi_limit;
+    config.proxy.policy.max_get_per_minute = cgi_limit * 6;
+    config.proxy.policy.max_error_responses = static_cast<int>(cgi_limit * 1.5);
+    config.proxy.policy.min_observation = 20 * kSecond;
+
+    Experiment experiment(config);
+    experiment.Run();
+
+    uint64_t abusive = 0;
+    uint64_t served = 0;
+    for (const char* type : {"referrer_spammer", "click_fraud", "vuln_scanner"}) {
+      const auto it = experiment.type_stats().find(type);
+      if (it != experiment.type_stats().end()) {
+        abusive += it->second.requests;
+        served += it->second.requests - it->second.blocked;
+      }
+    }
+    uint64_t humans_blocked_requests = 0;
+    const auto humans = experiment.type_stats().find("human");
+    if (humans != experiment.type_stats().end()) {
+      humans_blocked_requests = humans->second.blocked;
+    }
+    char label[32];
+    if (cgi_limit >= 1e9) {
+      std::snprintf(label, sizeof(label), "off");
+    } else {
+      std::snprintf(label, sizeof(label), "%.0f", cgi_limit);
+    }
+    std::printf("  %-14s %12llu %12llu %13.1f%% %12llu\n", label,
+                static_cast<unsigned long long>(abusive),
+                static_cast<unsigned long long>(served),
+                baseline_served > 0 ? 100.0 * static_cast<double>(served) /
+                                          static_cast<double>(baseline_served)
+                                    : 0.0,
+                static_cast<unsigned long long>(humans_blocked_requests));
+  }
+
+  std::printf("\nExpected shape: tighter thresholds shrink served abuse monotonically\n"
+              "(robots also give up after repeated blocks, which shrinks the 'abusive'\n"
+              "column too). Human collateral is ~0 at sane thresholds because policy\n"
+              "fires only on robot-classified sessions; at very tight limits the few\n"
+              "probe-invisible humans (text browsers) who get misjudged start to be\n"
+              "rate-limited — the trade-off the paper's thresholds had to respect.\n");
+  return 0;
+}

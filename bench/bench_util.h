@@ -1,0 +1,55 @@
+// Shared configuration and report helpers for the reproduction harnesses.
+// Every table/figure bench uses the same calibrated "CoDeeN week" workload
+// so numbers are comparable across artifacts.
+#ifndef ROBODET_BENCH_BENCH_UTIL_H_
+#define ROBODET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/robodet.h"
+
+namespace robodet {
+
+// The workload standing in for "one week of CoDeeN traffic" (Table 1,
+// Figures 2 and 4): mixed population calibrated to the paper's observed
+// session fractions, CAPTCHA offered with the paper's incentive uptake,
+// no enforcement (the measurement study predates the policy deployment).
+inline ExperimentConfig CodeenWeekConfig(size_t num_clients, uint64_t seed) {
+  ExperimentConfig config;
+  config.seed = seed;
+  config.num_clients = num_clients;
+  config.arrival_window = 12 * kHour;
+  config.site.num_pages = 200;
+  config.proxy.enable_captcha = true;
+  config.proxy.enable_policy = false;
+  config.mix.human_captcha_attempt_prob = 0.38;
+  return config;
+}
+
+// Reads a client-count override from argv (all benches accept one).
+inline size_t ClientsFromArgs(int argc, char** argv, size_t default_clients) {
+  if (argc > 1) {
+    const long v = std::atol(argv[1]);
+    if (v > 0) {
+      return static_cast<size_t>(v);
+    }
+  }
+  return default_clients;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================================\n");
+}
+
+// "paper X vs measured Y" row.
+inline void PrintCompareRow(const char* name, const char* paper, double measured_fraction) {
+  std::printf("  %-28s %10s %12s\n", name, paper, FormatPercent(measured_fraction).c_str());
+}
+
+}  // namespace robodet
+
+#endif  // ROBODET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,122 @@
+// Reproduces Figure 3: "# of CoDeeN Complaints Excluding False Alarms" —
+// robot-related abuse complaints per month across 2005, with the paper's
+// deployment timeline:
+//   Feb 2005   CoDeeN expands from ~100 US nodes to 300+ worldwide
+//              (traffic, and abuse, start climbing; July is the peak)
+//   late Aug   standard browser test + aggressive rate limiting deployed
+//              (robot complaints collapse ~10x: two instances in 4 months)
+//   Jan 2006   mouse-movement detection deployed (zero robot complaints
+//              through mid-April)
+//
+// Substitution: complaints are modeled as proportional to the abusive
+// robot requests that the proxy actually *serves* (spam/fraud/scan traffic
+// that got through), since a complaint is some webmaster noticing abuse
+// that reached them. The constant of proportionality is calibrated once so
+// the July peak matches the paper's ~9; everything else — the rise, the
+// collapse after enforcement, the post-deployment floor — is an output.
+//
+// Usage: fig3_complaints [scale]   (scale multiplies per-month client count)
+#include "bench/bench_util.h"
+
+using namespace robodet;
+
+namespace {
+
+struct MonthSpec {
+  const char* name;
+  size_t clients;          // Traffic volume (deployment footprint x popularity).
+  bool browser_test;       // Deployed late Aug 2005.
+  bool rate_limiting;      // Deployed with it.
+  bool human_activity;     // Deployed Jan 2006.
+};
+
+// Calibrated against one run so that July ~ 9 complaints.
+constexpr double kRequestsPerComplaint = 6600.0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t scale = ClientsFromArgs(argc, argv, 1);
+  PrintHeader("Figure 3 — monthly abuse complaints across the 2005 deployment");
+
+  const MonthSpec kMonths[] = {
+      {"Jan 2005", 120, false, false, false},
+      {"Feb 2005", 180, false, false, false},
+      {"Mar 2005", 260, false, false, false},
+      {"Apr 2005", 340, false, false, false},
+      {"May 2005", 420, false, false, false},
+      {"Jun 2005", 500, false, false, false},
+      {"Jul 2005", 560, false, false, false},
+      {"Aug 2005", 560, false, false, false},   // Deployed *late* August.
+      {"Sep 2005", 560, true, true, false},
+      {"Oct 2005", 560, true, true, false},
+      {"Nov 2005", 560, true, true, false},
+      {"Dec 2005", 560, true, true, false},
+      {"Jan 2006", 560, true, true, true},
+  };
+
+  std::printf("\n  %-10s %8s %10s %10s %9s %7s   deployment\n", "month", "clients",
+              "abusive", "served", "robot", "human");
+  std::printf("  %-10s %8s %10s %10s %9s %7s\n", "", "", "req", "req", "compl.", "compl.");
+
+  int month_index = 0;
+  for (const MonthSpec& month : kMonths) {
+    ExperimentConfig config;
+    config.seed = 2005000 + static_cast<uint64_t>(month_index);
+    config.num_clients = month.clients * scale;
+    config.arrival_window = 12 * kHour;
+    config.site.num_pages = 150;
+    config.proxy.enable_css_probe = month.browser_test;
+    config.proxy.enable_hidden_link = month.browser_test;
+    // The UA-echo/beacon instrumentation is part of the Jan-2006 rollout.
+    config.proxy.enable_human_activity = month.human_activity;
+    config.proxy.enable_ua_echo = month.human_activity;
+    config.proxy.enable_policy = month.rate_limiting;
+    config.proxy.policy.max_cgi_per_minute = 15;
+    config.proxy.policy.max_get_per_minute = 300;
+    config.proxy.policy.max_error_responses = 30;
+    config.proxy.policy.min_observation = 5 * kSecond;
+
+    Experiment experiment(config);
+    experiment.Run();
+
+    // Abusive traffic = spam/fraud/scan requests; "served" = not blocked.
+    uint64_t abusive = 0;
+    uint64_t served = 0;
+    for (const char* type : {"referrer_spammer", "click_fraud", "vuln_scanner"}) {
+      const auto it = experiment.type_stats().find(type);
+      if (it != experiment.type_stats().end()) {
+        abusive += it->second.requests;
+        served += it->second.requests - it->second.blocked;
+      }
+    }
+    // Human complaints: humans whose sessions were wrongly blocked.
+    uint64_t humans_blocked = 0;
+    const auto humans = experiment.type_stats().find("human");
+    if (humans != experiment.type_stats().end()) {
+      humans_blocked = humans->second.blocked;
+    }
+    const int robot_complaints =
+        static_cast<int>(static_cast<double>(served) / kRequestsPerComplaint);
+    const int human_complaints = static_cast<int>(humans_blocked / 50);
+
+    std::string deployment;
+    if (month.human_activity) {
+      deployment = "browser test + rate limit + mouse detection";
+    } else if (month.browser_test) {
+      deployment = "browser test + rate limiting";
+    } else {
+      deployment = "-";
+    }
+    std::printf("  %-10s %8zu %10llu %10llu %9d %7d   %s\n", month.name,
+                config.num_clients, static_cast<unsigned long long>(abusive),
+                static_cast<unsigned long long>(served), robot_complaints, human_complaints,
+                deployment.c_str());
+    ++month_index;
+  }
+
+  std::printf("\npaper shape: complaints climb to a July peak (~9), collapse ~10x after\n"
+              "the late-August deployment (2 robot complaints over Sep-Dec), and go to\n"
+              "zero once mouse detection lands in January 2006.\n");
+  return 0;
+}

@@ -1,0 +1,240 @@
+// §3.2 overhead microbenchmarks. The paper measured: a ~1KB obfuscated
+// beacon script generated in ~144 µs on a 2 GHz Pentium 4 ("little
+// additional delay"), and fake JS + CSS costing 0.3% of CoDeeN's
+// bandwidth. The table benches report the bandwidth fraction; this binary
+// measures the compute side: script generation, obfuscation, HTML
+// instrumentation, token and key-table operations, feature extraction,
+// model prediction, and the full per-request proxy path.
+#include <benchmark/benchmark.h>
+
+#include "src/robodet.h"
+
+namespace robodet {
+namespace {
+
+BeaconSpec SpecWith(size_t decoys, int level, size_t pad) {
+  BeaconSpec spec;
+  spec.host = "www.example.com";
+  spec.path_prefix = "/__rd/";
+  Rng rng(decoys * 131 + static_cast<uint64_t>(level));
+  spec.real_key = rng.HexKey128();
+  for (size_t i = 0; i < decoys; ++i) {
+    spec.decoy_keys.push_back(rng.HexKey128());
+  }
+  spec.obfuscation_level = level;
+  spec.pad_to_bytes = pad;
+  return spec;
+}
+
+void BM_GenerateBeaconScript(benchmark::State& state) {
+  const BeaconSpec spec = SpecWith(static_cast<size_t>(state.range(0)),
+                                   static_cast<int>(state.range(1)),
+                                   state.range(1) >= 3 ? 1024 : 0);
+  Rng rng(7);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    GeneratedBeacon beacon = GenerateBeaconScript(spec, rng);
+    bytes = beacon.script_source.size();
+    benchmark::DoNotOptimize(beacon.script_source.data());
+  }
+  state.counters["script_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_GenerateBeaconScript)
+    ->ArgsProduct({{0, 4, 16}, {0, 2, 4}})
+    ->ArgNames({"decoys", "obf"});
+
+void BM_ObfuscateJs(benchmark::State& state) {
+  Rng gen_rng(3);
+  const BeaconSpec spec = SpecWith(4, 0, 0);
+  const GeneratedBeacon plain = GenerateBeaconScript(spec, gen_rng);
+  ObfuscationOptions options;
+  options.junk_statements = 8;
+  options.pad_to_bytes = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    ObfuscationResult result = ObfuscateJs(plain.script_source, options, rng);
+    benchmark::DoNotOptimize(result.source.data());
+  }
+}
+BENCHMARK(BM_ObfuscateJs)->Arg(0)->Arg(1024)->Arg(4096)->ArgName("pad");
+
+void BM_InstrumentHtml(benchmark::State& state) {
+  SiteConfig config;
+  config.num_pages = 4;
+  Rng rng(5);
+  SiteModel site = SiteModel::Generate(config, rng);
+  std::string html = site.RenderPage(0);
+  // Scale body size.
+  while (html.size() < static_cast<size_t>(state.range(0))) {
+    html += "<p>filler paragraph for scaling the document body length</p>\n";
+  }
+  InjectionPlan plan;
+  plan.beacon_script_url = "http://e.com/__rd/js_t.js";
+  plan.mouse_handler_code = "return d();";
+  plan.ua_echo_script = "var a = navigator.userAgent;";
+  plan.css_probe_url = "http://e.com/__rd/cp_t.css";
+  plan.hidden_link_url = "http://e.com/__rd/hl_t.html";
+  plan.transparent_image_url = "http://e.com/__rd/ti.jpg";
+  for (auto _ : state) {
+    InjectionResult result = InstrumentHtml(html, plan);
+    benchmark::DoNotOptimize(result.html.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * html.size()));
+}
+BENCHMARK(BM_InstrumentHtml)->Arg(2 << 10)->Arg(16 << 10)->Arg(64 << 10)->ArgName("bytes");
+
+void BM_JsInterpreterBeaconRun(benchmark::State& state) {
+  Rng gen_rng(9);
+  const BeaconSpec spec = SpecWith(4, 2, 0);
+  const GeneratedBeacon beacon = GenerateBeaconScript(spec, gen_rng);
+  for (auto _ : state) {
+    JsInterpreter interp(JsInterpreter::Config{"bench", 200000});
+    interp.Run(beacon.script_source);
+    interp.RunHandler(beacon.handler_code);
+    benchmark::DoNotOptimize(interp.fetched_urls().size());
+  }
+}
+BENCHMARK(BM_JsInterpreterBeaconRun);
+
+void BM_TokenMintValidate(benchmark::State& state) {
+  Rng rng(13);
+  TokenMinter minter(0xfeed, &rng);
+  for (auto _ : state) {
+    const std::string token = minter.Mint();
+    benchmark::DoNotOptimize(minter.Validate(token));
+  }
+}
+BENCHMARK(BM_TokenMintValidate);
+
+void BM_KeyTableRecordMatch(benchmark::State& state) {
+  KeyTable table({64, 1 << 20, kHour});
+  Rng rng(17);
+  uint32_t ip = 0;
+  for (auto _ : state) {
+    ++ip;
+    const std::string key = rng.HexKey128();
+    table.Record(IpAddress(ip & 0xffff), "/p/1.html", key, 0);
+    benchmark::DoNotOptimize(table.MatchAndConsume(IpAddress(ip & 0xffff), key, 1));
+  }
+}
+BENCHMARK(BM_KeyTableRecordMatch);
+
+void BM_SessionTableTouch(benchmark::State& state) {
+  SessionTable table({kHour, 1 << 20});
+  uint32_t ip = 0;
+  for (auto _ : state) {
+    ++ip;
+    benchmark::DoNotOptimize(
+        table.Touch(SessionKey{IpAddress(ip % 10000), "Mozilla/5.0"}, ip));
+  }
+}
+BENCHMARK(BM_SessionTableTouch);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  std::vector<RequestEvent> events(static_cast<size_t>(state.range(0)));
+  Rng rng(19);
+  for (RequestEvent& e : events) {
+    e.kind = rng.Bernoulli(0.4) ? ResourceKind::kHtml : ResourceKind::kImage;
+    e.has_referrer = rng.Bernoulli(0.6);
+    e.status_class = rng.Bernoulli(0.9) ? 2 : 4;
+  }
+  for (auto _ : state) {
+    FeatureVector v = ExtractFeatures(events);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(20)->Arg(160)->ArgName("events");
+
+void BM_AdaBoostPredict(benchmark::State& state) {
+  Dataset data;
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    Example e;
+    e.label = i % 2 == 0 ? kLabelRobot : kLabelHuman;
+    for (size_t f = 0; f < kNumFeatures; ++f) {
+      e.x[f] = rng.UniformDouble() + (e.label == kLabelRobot ? 0.2 : 0.0);
+    }
+    data.examples.push_back(e);
+  }
+  AdaBoost model(AdaBoost::Config{200, 1e-10});
+  model.Train(data);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(data.examples[i % data.size()].x));
+    ++i;
+  }
+}
+BENCHMARK(BM_AdaBoostPredict);
+
+void BM_AdaBoostTrain200(benchmark::State& state) {
+  Dataset data;
+  Rng rng(29);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    Example e;
+    e.label = i % 2 == 0 ? kLabelRobot : kLabelHuman;
+    for (size_t f = 0; f < kNumFeatures; ++f) {
+      e.x[f] = rng.UniformDouble() + (e.label == kLabelRobot ? 0.1 : 0.0);
+    }
+    data.examples.push_back(e);
+  }
+  for (auto _ : state) {
+    AdaBoost model(AdaBoost::Config{200, 1e-10});
+    model.Train(data);
+    benchmark::DoNotOptimize(model.stumps().size());
+  }
+}
+BENCHMARK(BM_AdaBoostTrain200)->Arg(1000)->Arg(4000)->ArgName("examples")
+    ->Unit(benchmark::kMillisecond);
+
+// The end-to-end per-request cost of the instrumenting proxy: one HTML
+// page fetch, fully instrumented (key minting, beacon derivation, rewrite).
+void BM_ProxyServePage(benchmark::State& state) {
+  SiteConfig site_config;
+  site_config.num_pages = 50;
+  Rng site_rng(31);
+  SiteModel site = SiteModel::Generate(site_config, site_rng);
+  OriginServer origin(&site);
+  SimClock clock;
+  ProxyConfig config;
+  config.host = site.host();
+  ProxyServer proxy(config, &clock,
+                    [&origin](const Request& r) { return origin.Handle(r); }, 37);
+  uint32_t ip = 0;
+  for (auto _ : state) {
+    Request request;
+    request.time = clock.Now();
+    request.client_ip = IpAddress(++ip % 4096 + 1);
+    request.url = Url::Make(site.host(), SiteModel::PagePath(ip % 50));
+    request.headers.Set("User-Agent", "Mozilla/5.0 (bench)");
+    ProxyServer::Result result = proxy.Handle(request);
+    benchmark::DoNotOptimize(result.response.body.data());
+    clock.Advance(1);
+  }
+}
+BENCHMARK(BM_ProxyServePage);
+
+// The beacon-image hit path (the per-event cost of a mouse-movement proof).
+void BM_ProxyBeaconHit(benchmark::State& state) {
+  SimClock clock;
+  ProxyConfig config;
+  config.host = "www.example.com";
+  ProxyServer proxy(config, &clock, [](const Request&) { return MakeHtmlResponse(""); }, 41);
+  Rng rng(43);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string key = rng.HexKey128();
+    proxy.keys().Record(IpAddress(1), "/p/1.html", key, clock.Now());
+    Request request;
+    request.time = clock.Now();
+    request.client_ip = IpAddress(1);
+    request.url = Url::Make("www.example.com", "/__rd/bk_" + key + ".jpg");
+    request.headers.Set("User-Agent", "Mozilla/5.0 (bench)");
+    state.ResumeTiming();
+    ProxyServer::Result result = proxy.Handle(request);
+    benchmark::DoNotOptimize(result.response.status);
+  }
+}
+BENCHMARK(BM_ProxyBeaconHit);
+
+}  // namespace
+}  // namespace robodet

@@ -1,0 +1,84 @@
+#include "src/core/attestation.h"
+
+#include <cstdio>
+
+#include "src/util/hash.h"
+#include "src/util/strings.h"
+
+namespace robodet {
+namespace {
+
+std::string ToHex16(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::optional<uint64_t> FromHex(std::string_view s) {
+  if (s.empty() || s.size() > 16) {
+    return std::nullopt;
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string AttestationAuthority::Mac(uint64_t secret, std::string_view payload) {
+  return ToHex16(HashCombine(Fnv1a(payload, secret ^ kFnvOffset), secret));
+}
+
+TrustedInputDevice AttestationAuthority::ManufactureDevice() {
+  const uint64_t id = next_id_++;
+  // Derive the per-device secret from the authority seed; in the real
+  // architecture this is the key burned in at manufacture.
+  seed_ = HashCombine(seed_, id * 0x9e3779b97f4a7c15ULL);
+  const uint64_t secret = seed_;
+  secrets_[id] = secret;
+  return TrustedInputDevice(id, secret);
+}
+
+bool AttestationAuthority::Verify(uint64_t device_id, std::string_view payload,
+                                  std::string_view mac) const {
+  const auto it = secrets_.find(device_id);
+  if (it == secrets_.end()) {
+    return false;
+  }
+  return Mac(it->second, payload) == mac;
+}
+
+std::optional<AttestationAuthority::ParsedHeader> AttestationAuthority::ParseHeader(
+    std::string_view value) {
+  const size_t colon = value.find(':');
+  if (colon == std::string_view::npos) {
+    return std::nullopt;
+  }
+  const auto id = FromHex(value.substr(0, colon));
+  if (!id.has_value()) {
+    return std::nullopt;
+  }
+  ParsedHeader out;
+  out.device_id = *id;
+  out.mac = std::string(value.substr(colon + 1));
+  return out;
+}
+
+std::string TrustedInputDevice::Attest(std::string_view payload) const {
+  return AttestationAuthority::Mac(secret_, payload);
+}
+
+std::string TrustedInputDevice::HeaderValue(std::string_view payload) const {
+  return ToHex16(device_id_) + ":" + Attest(payload);
+}
+
+}  // namespace robodet

@@ -1,0 +1,36 @@
+// Human activity detection (§2.1): a session is human when it has fetched
+// a beacon image carrying the correct per-(client, page) key k — proof of
+// a mouse/keyboard event handler firing. A session that executed the
+// injected JavaScript (UA echo observed) but produced no such event is
+// definitely a robot; so is one that fetched a wrong (decoy) key.
+#ifndef ROBODET_SRC_CORE_HUMAN_ACTIVITY_DETECTOR_H_
+#define ROBODET_SRC_CORE_HUMAN_ACTIVITY_DETECTOR_H_
+
+#include "src/core/signals.h"
+#include "src/core/verdict.h"
+
+namespace robodet {
+
+class HumanActivityDetector {
+ public:
+  struct Options {
+    // A JS-capable session with no mouse event is only called a robot after
+    // it has had this many requests' worth of opportunity to move a mouse.
+    int js_no_mouse_patience = 20;
+    // §4.1 extension: treat an unattested beacon event as robot evidence
+    // (only meaningful when the proxy requires attestation).
+    bool unattested_event_is_robot = true;
+  };
+
+  HumanActivityDetector();
+  explicit HumanActivityDetector(Options options) : options_(options) {}
+
+  Classification Classify(const SessionObservation& obs) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_CORE_HUMAN_ACTIVITY_DETECTOR_H_

@@ -1,0 +1,48 @@
+// Detection verdicts and the evidence trail behind them.
+#ifndef ROBODET_SRC_CORE_VERDICT_H_
+#define ROBODET_SRC_CORE_VERDICT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace robodet {
+
+enum class Verdict {
+  kUnknown,  // Not enough signal yet.
+  kHuman,
+  kRobot,
+};
+
+constexpr std::string_view VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kUnknown:
+      return "unknown";
+    case Verdict::kHuman:
+      return "human";
+    case Verdict::kRobot:
+      return "robot";
+  }
+  return "unknown";
+}
+
+struct Evidence {
+  // Which detector and which signal produced this piece of evidence.
+  std::string detector;
+  std::string signal;
+  // 1-based request index at which the signal fired.
+  int request_index = 0;
+  // Direction the evidence points.
+  Verdict points_to = Verdict::kUnknown;
+};
+
+struct Classification {
+  Verdict verdict = Verdict::kUnknown;
+  // Request index at which the verdict was first reachable; 0 if unknown.
+  int decided_at = 0;
+  std::vector<Evidence> evidence;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_CORE_VERDICT_H_

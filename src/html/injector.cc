@@ -1,0 +1,145 @@
+#include "src/html/injector.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace robodet {
+namespace {
+
+HtmlToken StartTag(std::string name,
+                   std::vector<std::pair<std::string, std::string>> attrs,
+                   bool self_closing = false) {
+  HtmlToken tok;
+  tok.type = HtmlTokenType::kStartTag;
+  tok.name = std::move(name);
+  tok.attrs = std::move(attrs);
+  tok.self_closing = self_closing;
+  return tok;
+}
+
+HtmlToken EndTag(std::string name) {
+  HtmlToken tok;
+  tok.type = HtmlTokenType::kEndTag;
+  tok.name = std::move(name);
+  return tok;
+}
+
+HtmlToken Text(std::string text) {
+  HtmlToken tok;
+  tok.type = HtmlTokenType::kText;
+  tok.text = std::move(text);
+  return tok;
+}
+
+// Index right after the first <head> start tag, else right before the first
+// <body> start tag, else 0 (prepend).
+size_t HeadInsertionPoint(const std::vector<HtmlToken>& tokens) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].type == HtmlTokenType::kStartTag && tokens[i].name == "head") {
+      return i + 1;
+    }
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].type == HtmlTokenType::kStartTag && tokens[i].name == "body") {
+      return i;
+    }
+  }
+  return 0;
+}
+
+// Index right before </body>, else right before </html>, else end.
+size_t BodyAppendPoint(const std::vector<HtmlToken>& tokens) {
+  for (size_t i = tokens.size(); i > 0; --i) {
+    if (tokens[i - 1].type == HtmlTokenType::kEndTag && tokens[i - 1].name == "body") {
+      return i - 1;
+    }
+  }
+  for (size_t i = tokens.size(); i > 0; --i) {
+    if (tokens[i - 1].type == HtmlTokenType::kEndTag && tokens[i - 1].name == "html") {
+      return i - 1;
+    }
+  }
+  return tokens.size();
+}
+
+}  // namespace
+
+InjectionResult InstrumentHtml(std::string_view html, const InjectionPlan& plan) {
+  std::vector<HtmlToken> tokens = TokenizeHtml(html);
+  InjectionResult result;
+
+  // Mouse handler on <body> (attribute edit, no insertion).
+  if (!plan.mouse_handler_code.empty()) {
+    for (HtmlToken& tok : tokens) {
+      if (tok.type == HtmlTokenType::kStartTag && tok.name == "body") {
+        tok.SetAttr(plan.mouse_event, plan.mouse_handler_code);
+        result.injected_mouse_handler = true;
+        break;
+      }
+    }
+    if (plan.hook_links) {
+      for (HtmlToken& tok : tokens) {
+        if (tok.type == HtmlTokenType::kStartTag && tok.name == "a" && tok.HasAttr("href") &&
+            !tok.HasAttr("onclick")) {
+          tok.SetAttr("onclick", plan.mouse_handler_code);
+          result.injected_mouse_handler = true;
+        }
+      }
+    }
+  }
+
+  // Early insertions (reverse-ordered so indices stay valid).
+  std::vector<HtmlToken> head_inserts;
+  if (!plan.beacon_script_url.empty()) {
+    head_inserts.push_back(StartTag(
+        "script", {{"language", "javascript"}, {"src", plan.beacon_script_url}}));
+    head_inserts.push_back(EndTag("script"));
+    result.injected_beacon_script = true;
+  }
+  if (!plan.css_probe_url.empty()) {
+    head_inserts.push_back(StartTag(
+        "link",
+        {{"rel", "stylesheet"}, {"type", "text/css"}, {"href", plan.css_probe_url}}));
+    result.injected_css_probe = true;
+  }
+  if (!head_inserts.empty()) {
+    const size_t at = HeadInsertionPoint(tokens);
+    tokens.insert(tokens.begin() + static_cast<ptrdiff_t>(at), head_inserts.begin(),
+                  head_inserts.end());
+  }
+
+  // Late insertions inside <body>.
+  std::vector<HtmlToken> body_inserts;
+  if (!plan.audio_probe_url.empty()) {
+    // 2006-era silent background sound; modern equivalents would use
+    // <audio autoplay muted>.
+    body_inserts.push_back(StartTag("bgsound", {{"src", plan.audio_probe_url}}, true));
+    result.injected_audio_probe = true;
+  }
+  if (!plan.ua_echo_script.empty()) {
+    body_inserts.push_back(StartTag("script", {}));
+    body_inserts.push_back(Text(plan.ua_echo_script));
+    body_inserts.push_back(EndTag("script"));
+    result.injected_ua_echo = true;
+  }
+  if (!plan.hidden_link_url.empty() && !plan.transparent_image_url.empty()) {
+    body_inserts.push_back(StartTag("a", {{"href", plan.hidden_link_url}}));
+    body_inserts.push_back(StartTag(
+        "img",
+        {{"src", plan.transparent_image_url}, {"width", "1"}, {"height", "1"}, {"border", "0"}}));
+    body_inserts.push_back(EndTag("a"));
+    result.injected_hidden_link = true;
+  }
+  if (!body_inserts.empty()) {
+    const size_t at = BodyAppendPoint(tokens);
+    tokens.insert(tokens.begin() + static_cast<ptrdiff_t>(at), body_inserts.begin(),
+                  body_inserts.end());
+  }
+
+  result.html = SerializeHtml(tokens);
+  result.added_bytes =
+      result.html.size() > html.size() ? result.html.size() - html.size() : 0;
+  return result;
+}
+
+}  // namespace robodet

@@ -1,0 +1,67 @@
+// In-flight HTML instrumentation: the rewriting step of Figure 1. Given an
+// HTML body and an InjectionPlan, produces the modified document that the
+// proxy forwards to the client. Every insertion is content-preserving — the
+// original markup survives byte-for-byte modulo attribute re-quoting.
+#ifndef ROBODET_SRC_HTML_INJECTOR_H_
+#define ROBODET_SRC_HTML_INJECTOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/html/tokenizer.h"
+
+namespace robodet {
+
+// What to weave into one page. All URLs are absolute; empty fields skip the
+// corresponding injection.
+struct InjectionPlan {
+  // External beacon script (Figure 1's ./index_0729395150.js).
+  std::string beacon_script_url;
+  // Event handler attribute installed on <body>, e.g. "return f();".
+  std::string mouse_handler_code;
+  // The event attribute to hook, default matching the paper's example.
+  std::string mouse_event = "onmousemove";
+  // Also install the handler as onclick on every visible link (the paper's
+  // alternative hook); applied in addition to the body handler when set.
+  bool hook_links = false;
+
+  // Inline script that echoes the client's user agent back to the server
+  // (Figure 1's second <script> block). Empty skips.
+  std::string ua_echo_script;
+
+  // Dynamically named empty stylesheet probe (§2.2).
+  std::string css_probe_url;
+
+  // Silent audio probe (§2.2: "one can also use silent audio files or
+  // 1-pixel transparent images for the same purpose").
+  std::string audio_probe_url;
+
+  // Hidden-link trap (§2.2): a transparent 1x1 image wrapped in a link.
+  std::string hidden_link_url;
+  std::string transparent_image_url;
+};
+
+struct InjectionResult {
+  std::string html;
+  // Which injections actually landed (a page without a <body> tag cannot
+  // take a mouse handler; we record rather than fail).
+  bool injected_beacon_script = false;
+  bool injected_mouse_handler = false;
+  bool injected_ua_echo = false;
+  bool injected_css_probe = false;
+  bool injected_audio_probe = false;
+  bool injected_hidden_link = false;
+  // Bytes added by instrumentation; feeds the §3.2 overhead accounting.
+  size_t added_bytes = 0;
+};
+
+// Applies `plan` to `html`. Insertion points follow the paper's example:
+// the beacon <script> and CSS probe go as early as possible (inside <head>
+// if present, else before <body>, else prepended); the mouse handler is an
+// attribute on <body>; the UA-echo script and hidden link go inside <body>
+// (appended before </body> or at document end).
+InjectionResult InstrumentHtml(std::string_view html, const InjectionPlan& plan);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_HTML_INJECTOR_H_

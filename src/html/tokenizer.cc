@@ -1,0 +1,265 @@
+#include "src/html/tokenizer.h"
+
+#include <cctype>
+
+#include "src/util/strings.h"
+
+namespace robodet {
+namespace {
+
+bool IsTagNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-';
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+// Parses attributes from `s` starting at `i` until '>' or end. Updates `i`
+// to point one past the closing '>' (or to end on truncation).
+void ParseAttributes(std::string_view s, size_t& i, HtmlToken& tok) {
+  while (i < s.size()) {
+    while (i < s.size() && IsSpace(s[i])) {
+      ++i;
+    }
+    if (i >= s.size()) {
+      return;
+    }
+    if (s[i] == '>') {
+      ++i;
+      return;
+    }
+    if (s[i] == '/') {
+      ++i;
+      if (i < s.size() && s[i] == '>') {
+        tok.self_closing = true;
+        ++i;
+        return;
+      }
+      continue;
+    }
+    // Attribute name.
+    const size_t name_start = i;
+    while (i < s.size() && s[i] != '=' && s[i] != '>' && s[i] != '/' && !IsSpace(s[i])) {
+      ++i;
+    }
+    std::string name = AsciiLower(s.substr(name_start, i - name_start));
+    if (name.empty()) {
+      ++i;  // Skip a stray character to guarantee progress.
+      continue;
+    }
+    while (i < s.size() && IsSpace(s[i])) {
+      ++i;
+    }
+    std::string value;
+    if (i < s.size() && s[i] == '=') {
+      ++i;
+      while (i < s.size() && IsSpace(s[i])) {
+        ++i;
+      }
+      if (i < s.size() && (s[i] == '"' || s[i] == '\'')) {
+        const char quote = s[i++];
+        const size_t v_start = i;
+        while (i < s.size() && s[i] != quote) {
+          ++i;
+        }
+        value = std::string(s.substr(v_start, i - v_start));
+        if (i < s.size()) {
+          ++i;  // Closing quote.
+        }
+      } else {
+        const size_t v_start = i;
+        while (i < s.size() && s[i] != '>' && !IsSpace(s[i])) {
+          ++i;
+        }
+        value = std::string(s.substr(v_start, i - v_start));
+      }
+    }
+    tok.attrs.emplace_back(std::move(name), std::move(value));
+  }
+}
+
+}  // namespace
+
+std::string_view HtmlToken::Attr(std::string_view attr_name) const {
+  for (const auto& [k, v] : attrs) {
+    if (EqualsIgnoreCase(k, attr_name)) {
+      return v;
+    }
+  }
+  return {};
+}
+
+bool HtmlToken::HasAttr(std::string_view attr_name) const {
+  for (const auto& [k, v] : attrs) {
+    if (EqualsIgnoreCase(k, attr_name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void HtmlToken::SetAttr(std::string_view attr_name, std::string_view value) {
+  for (auto& [k, v] : attrs) {
+    if (EqualsIgnoreCase(k, attr_name)) {
+      v = std::string(value);
+      return;
+    }
+  }
+  attrs.emplace_back(AsciiLower(attr_name), std::string(value));
+}
+
+std::vector<HtmlToken> TokenizeHtml(std::string_view html) {
+  std::vector<HtmlToken> tokens;
+  size_t i = 0;
+  const size_t n = html.size();
+
+  auto emit_text = [&tokens](std::string_view text) {
+    if (text.empty()) {
+      return;
+    }
+    HtmlToken tok;
+    tok.type = HtmlTokenType::kText;
+    tok.text = std::string(text);
+    tokens.push_back(std::move(tok));
+  };
+
+  size_t text_start = 0;
+  while (i < n) {
+    if (html[i] != '<') {
+      ++i;
+      continue;
+    }
+    // Look ahead to decide what kind of markup starts here.
+    if (i + 1 >= n) {
+      break;  // Trailing '<' becomes text.
+    }
+    const char next = html[i + 1];
+    if (next == '!') {
+      emit_text(html.substr(text_start, i - text_start));
+      if (html.compare(i, 4, "<!--") == 0) {
+        const size_t end = html.find("-->", i + 4);
+        HtmlToken tok;
+        tok.type = HtmlTokenType::kComment;
+        if (end == std::string_view::npos) {
+          tok.text = std::string(html.substr(i + 4));
+          i = n;
+        } else {
+          tok.text = std::string(html.substr(i + 4, end - (i + 4)));
+          i = end + 3;
+        }
+        tokens.push_back(std::move(tok));
+      } else {
+        const size_t end = html.find('>', i);
+        HtmlToken tok;
+        tok.type = HtmlTokenType::kDoctype;
+        if (end == std::string_view::npos) {
+          tok.text = std::string(html.substr(i + 2));
+          i = n;
+        } else {
+          tok.text = std::string(html.substr(i + 2, end - (i + 2)));
+          i = end + 1;
+        }
+        tokens.push_back(std::move(tok));
+      }
+      text_start = i;
+      continue;
+    }
+    const bool is_end = next == '/';
+    const size_t name_start = i + (is_end ? 2 : 1);
+    // Tag names must start with a letter; "<3" and "< b" are literal text.
+    const bool starts_tag =
+        name_start < n && ((html[name_start] >= 'a' && html[name_start] <= 'z') ||
+                           (html[name_start] >= 'A' && html[name_start] <= 'Z'));
+    if (!starts_tag) {
+      ++i;
+      continue;
+    }
+    emit_text(html.substr(text_start, i - text_start));
+
+    size_t j = name_start;
+    while (j < n && IsTagNameChar(html[j])) {
+      ++j;
+    }
+    HtmlToken tok;
+    tok.type = is_end ? HtmlTokenType::kEndTag : HtmlTokenType::kStartTag;
+    tok.name = AsciiLower(html.substr(name_start, j - name_start));
+    i = j;
+    ParseAttributes(html, i, tok);
+    const std::string tag_name = tok.name;
+    const bool is_start = tok.type == HtmlTokenType::kStartTag;
+    const bool self_closing = tok.self_closing;
+    tokens.push_back(std::move(tok));
+    text_start = i;
+
+    // Raw-text elements: consume until the matching close tag.
+    if (is_start && !self_closing && (tag_name == "script" || tag_name == "style")) {
+      const std::string close = "</" + tag_name;
+      size_t end = i;
+      for (;;) {
+        end = html.find(close, end);
+        if (end == std::string_view::npos) {
+          end = n;
+          break;
+        }
+        const size_t after = end + close.size();
+        if (after >= n || html[after] == '>' || IsSpace(html[after])) {
+          break;
+        }
+        ++end;
+      }
+      emit_text(html.substr(i, end - i));
+      if (end < n) {
+        // Emit the close tag.
+        const size_t close_end = html.find('>', end);
+        HtmlToken close_tok;
+        close_tok.type = HtmlTokenType::kEndTag;
+        close_tok.name = tag_name;
+        tokens.push_back(std::move(close_tok));
+        i = close_end == std::string_view::npos ? n : close_end + 1;
+      } else {
+        i = n;
+      }
+      text_start = i;
+    }
+  }
+  emit_text(html.substr(text_start, i > text_start ? i - text_start : html.size() - text_start));
+  return tokens;
+}
+
+std::string SerializeToken(const HtmlToken& token) {
+  switch (token.type) {
+    case HtmlTokenType::kText:
+      return token.text;
+    case HtmlTokenType::kComment:
+      return "<!--" + token.text + "-->";
+    case HtmlTokenType::kDoctype:
+      return "<!" + token.text + ">";
+    case HtmlTokenType::kEndTag:
+      return "</" + token.name + ">";
+    case HtmlTokenType::kStartTag: {
+      std::string out = "<" + token.name;
+      for (const auto& [k, v] : token.attrs) {
+        out += ' ';
+        out += k;
+        out += "=\"";
+        out += ReplaceAll(v, "\"", "&quot;");
+        out += '"';
+      }
+      if (token.self_closing) {
+        out += " /";
+      }
+      out += '>';
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string SerializeHtml(const std::vector<HtmlToken>& tokens) {
+  std::string out;
+  for (const HtmlToken& tok : tokens) {
+    out += SerializeToken(tok);
+  }
+  return out;
+}
+
+}  // namespace robodet

@@ -1,0 +1,52 @@
+// A forgiving HTML tokenizer. Real CoDeeN rewrote whatever HTML the origin
+// produced, so the tokenizer must survive unquoted attributes, unclosed
+// tags and truncated documents; it never throws, it just yields its best
+// token stream. Round-tripping (tokenize + serialize) preserves content.
+#ifndef ROBODET_SRC_HTML_TOKENIZER_H_
+#define ROBODET_SRC_HTML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace robodet {
+
+enum class HtmlTokenType {
+  kText,
+  kStartTag,
+  kEndTag,
+  kComment,
+  kDoctype,
+};
+
+struct HtmlToken {
+  HtmlTokenType type = HtmlTokenType::kText;
+  // Lowercased tag name for start/end tags; raw text for text/comment/
+  // doctype tokens (comment text excludes the <!-- --> delimiters).
+  std::string name;
+  std::string text;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  bool self_closing = false;
+
+  // Case-insensitive attribute lookup; returns empty string if absent.
+  std::string_view Attr(std::string_view attr_name) const;
+  bool HasAttr(std::string_view attr_name) const;
+  void SetAttr(std::string_view attr_name, std::string_view value);
+};
+
+// Tokenizes the whole document. <script> and <style> element contents are
+// treated as raw text until the matching close tag, as per the HTML spec's
+// raw-text states.
+std::vector<HtmlToken> TokenizeHtml(std::string_view html);
+
+// Serializes tokens back to HTML. Attribute values are double-quoted with
+// '"' escaped; text is emitted verbatim.
+std::string SerializeHtml(const std::vector<HtmlToken>& tokens);
+
+// Serializes a single token.
+std::string SerializeToken(const HtmlToken& token);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_HTML_TOKENIZER_H_

@@ -1,0 +1,40 @@
+#include "src/http/cache_control.h"
+
+#include "src/util/strings.h"
+
+namespace robodet {
+
+CacheDirectives ParseCacheControl(std::string_view value) {
+  CacheDirectives out;
+  for (const std::string& raw : Split(value, ',')) {
+    const std::string token = AsciiLower(std::string(TrimWhitespace(raw)));
+    if (token == "no-cache") {
+      out.no_cache = true;
+    } else if (token == "no-store") {
+      out.no_store = true;
+    } else if (token.rfind("max-age=", 0) == 0) {
+      const auto age = ParseU64(std::string_view(token).substr(8));
+      if (age.has_value()) {
+        out.max_age = static_cast<long>(*age);
+      }
+    }
+  }
+  return out;
+}
+
+bool IsCacheable(const Response& response) {
+  if (!Is2xx(response.status)) {
+    return false;
+  }
+  const auto header = response.headers.Get("Cache-Control");
+  if (!header.has_value()) {
+    return true;  // Heuristic freshness, as HTTP/1.1 caches do.
+  }
+  const CacheDirectives d = ParseCacheControl(*header);
+  if (d.no_cache || d.no_store) {
+    return false;
+  }
+  return d.max_age != 0;
+}
+
+}  // namespace robodet

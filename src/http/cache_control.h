@@ -1,0 +1,33 @@
+// Minimal Cache-Control semantics: enough to honor the server-side
+// no-cache/no-store markers the paper's instrumentation relies on ("To
+// prevent caching the JavaScript file at the client browser, the server
+// marks it uncacheable"). A browser model that cached the beacon script
+// would reuse stale keys; a model that never cached anything would inflate
+// per-page request counts far beyond real traffic. Both errors distort the
+// detection CDFs, so cacheability is modeled explicitly.
+#ifndef ROBODET_SRC_HTTP_CACHE_CONTROL_H_
+#define ROBODET_SRC_HTTP_CACHE_CONTROL_H_
+
+#include <string_view>
+
+#include "src/http/request.h"
+
+namespace robodet {
+
+struct CacheDirectives {
+  bool no_cache = false;
+  bool no_store = false;
+  // max-age seconds if present, -1 otherwise.
+  long max_age = -1;
+};
+
+// Parses a Cache-Control header value ("no-cache, no-store, max-age=60").
+// Unknown directives are ignored.
+CacheDirectives ParseCacheControl(std::string_view value);
+
+// True if a shared/private cache may store and reuse this response.
+bool IsCacheable(const Response& response);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_HTTP_CACHE_CONTROL_H_

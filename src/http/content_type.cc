@@ -1,0 +1,66 @@
+#include "src/http/content_type.h"
+
+#include "src/util/strings.h"
+
+namespace robodet {
+
+ResourceKind ClassifyUrl(const Url& url) {
+  if (EqualsIgnoreCase(url.Filename(), "favicon.ico")) {
+    return ResourceKind::kFavicon;
+  }
+  if (EqualsIgnoreCase(url.path(), "/robots.txt")) {
+    return ResourceKind::kRobotsTxt;
+  }
+  const std::string ext = url.Extension();
+  if (ext == "cgi" || ext == "php" || ext == "asp" || ext == "aspx" || ext == "jsp" ||
+      ContainsIgnoreCase(url.path(), "/cgi-bin/")) {
+    return ResourceKind::kCgi;
+  }
+  if (url.has_query()) {
+    // Query strings on non-script paths still indicate dynamic content.
+    return ResourceKind::kCgi;
+  }
+  if (ext == "html" || ext == "htm" || ext == "xhtml" || ext.empty()) {
+    return ResourceKind::kHtml;
+  }
+  if (ext == "css") {
+    return ResourceKind::kCss;
+  }
+  if (ext == "js") {
+    return ResourceKind::kJavaScript;
+  }
+  if (ext == "jpg" || ext == "jpeg" || ext == "png" || ext == "gif" || ext == "ico" ||
+      ext == "bmp" || ext == "svg" || ext == "webp") {
+    return ResourceKind::kImage;
+  }
+  if (ext == "wav" || ext == "mp3" || ext == "ogg" || ext == "au") {
+    return ResourceKind::kAudio;
+  }
+  return ResourceKind::kOther;
+}
+
+std::string_view MimeTypeFor(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::kHtml:
+      return "text/html";
+    case ResourceKind::kCss:
+      return "text/css";
+    case ResourceKind::kJavaScript:
+      return "application/javascript";
+    case ResourceKind::kImage:
+      return "image/jpeg";
+    case ResourceKind::kAudio:
+      return "audio/wav";
+    case ResourceKind::kFavicon:
+      return "image/x-icon";
+    case ResourceKind::kCgi:
+      return "text/html";
+    case ResourceKind::kRobotsTxt:
+      return "text/plain";
+    case ResourceKind::kOther:
+      return "application/octet-stream";
+  }
+  return "application/octet-stream";
+}
+
+}  // namespace robodet

@@ -1,0 +1,68 @@
+// Resource-kind classification. Table 2's features ("% of HTML requests",
+// "% of Image requests", "% of CGI requests", "% of favicon.ico requests")
+// and the browser tests all key on this taxonomy.
+#ifndef ROBODET_SRC_HTTP_CONTENT_TYPE_H_
+#define ROBODET_SRC_HTTP_CONTENT_TYPE_H_
+
+#include <string_view>
+
+#include "src/http/url.h"
+
+namespace robodet {
+
+enum class ResourceKind {
+  kHtml,
+  kCss,
+  kJavaScript,
+  kImage,
+  kAudio,
+  kFavicon,
+  kCgi,
+  kRobotsTxt,
+  kOther,
+};
+
+constexpr std::string_view ResourceKindName(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::kHtml:
+      return "html";
+    case ResourceKind::kCss:
+      return "css";
+    case ResourceKind::kJavaScript:
+      return "javascript";
+    case ResourceKind::kImage:
+      return "image";
+    case ResourceKind::kAudio:
+      return "audio";
+    case ResourceKind::kFavicon:
+      return "favicon";
+    case ResourceKind::kCgi:
+      return "cgi";
+    case ResourceKind::kRobotsTxt:
+      return "robots.txt";
+    case ResourceKind::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+// Classifies from the URL alone (what a server sees at request time, before
+// it has produced a response). Heuristics mirror CoDeeN's: CGI means a
+// query string or a /cgi-bin/ or .php/.cgi/.asp path; favicon.ico is its
+// own class; extension decides the rest; extension-less paths default to
+// HTML, matching how sites serve directory indexes.
+ResourceKind ClassifyUrl(const Url& url);
+
+// MIME type the origin server attaches for a kind.
+std::string_view MimeTypeFor(ResourceKind k);
+
+// True for the kinds a rendering browser fetches automatically as part of
+// displaying a page (the paper's "embedded objects").
+constexpr bool IsEmbeddedObjectKind(ResourceKind k) {
+  return k == ResourceKind::kCss || k == ResourceKind::kJavaScript || k == ResourceKind::kImage ||
+         k == ResourceKind::kAudio;
+}
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_HTTP_CONTENT_TYPE_H_

@@ -1,0 +1,33 @@
+#include "src/http/method.h"
+
+namespace robodet {
+
+std::optional<Method> ParseMethod(std::string_view token) {
+  if (token == "GET") {
+    return Method::kGet;
+  }
+  if (token == "HEAD") {
+    return Method::kHead;
+  }
+  if (token == "POST") {
+    return Method::kPost;
+  }
+  if (token == "PUT") {
+    return Method::kPut;
+  }
+  if (token == "DELETE") {
+    return Method::kDelete;
+  }
+  if (token == "OPTIONS") {
+    return Method::kOptions;
+  }
+  if (token == "CONNECT") {
+    return Method::kConnect;
+  }
+  if (token == "TRACE") {
+    return Method::kTrace;
+  }
+  return std::nullopt;
+}
+
+}  // namespace robodet

@@ -1,0 +1,48 @@
+// HTTP request methods.
+#ifndef ROBODET_SRC_HTTP_METHOD_H_
+#define ROBODET_SRC_HTTP_METHOD_H_
+
+#include <optional>
+#include <string_view>
+
+namespace robodet {
+
+enum class Method {
+  kGet,
+  kHead,
+  kPost,
+  kPut,
+  kDelete,
+  kOptions,
+  kConnect,
+  kTrace,
+};
+
+constexpr std::string_view MethodName(Method m) {
+  switch (m) {
+    case Method::kGet:
+      return "GET";
+    case Method::kHead:
+      return "HEAD";
+    case Method::kPost:
+      return "POST";
+    case Method::kPut:
+      return "PUT";
+    case Method::kDelete:
+      return "DELETE";
+    case Method::kOptions:
+      return "OPTIONS";
+    case Method::kConnect:
+      return "CONNECT";
+    case Method::kTrace:
+      return "TRACE";
+  }
+  return "GET";
+}
+
+// Parses an exact (case-sensitive, per RFC 9110) method token.
+std::optional<Method> ParseMethod(std::string_view token);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_HTTP_METHOD_H_

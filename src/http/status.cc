@@ -1,0 +1,35 @@
+#include "src/http/status.h"
+
+namespace robodet {
+
+std::string_view ReasonPhrase(StatusCode s) {
+  switch (s) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNoContent:
+      return "No Content";
+    case StatusCode::kMovedPermanently:
+      return "Moved Permanently";
+    case StatusCode::kFound:
+      return "Found";
+    case StatusCode::kNotModified:
+      return "Not Modified";
+    case StatusCode::kBadRequest:
+      return "Bad Request";
+    case StatusCode::kForbidden:
+      return "Forbidden";
+    case StatusCode::kNotFound:
+      return "Not Found";
+    case StatusCode::kTooManyRequests:
+      return "Too Many Requests";
+    case StatusCode::kInternalServerError:
+      return "Internal Server Error";
+    case StatusCode::kBadGateway:
+      return "Bad Gateway";
+    case StatusCode::kServiceUnavailable:
+      return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+}  // namespace robodet

@@ -1,0 +1,37 @@
+// HTTP status codes and class predicates. The detectors and the ML features
+// only care about the 2xx/3xx/4xx classes, but we keep real codes so the
+// origin-server model can emit realistic responses.
+#ifndef ROBODET_SRC_HTTP_STATUS_H_
+#define ROBODET_SRC_HTTP_STATUS_H_
+
+#include <string_view>
+
+namespace robodet {
+
+enum class StatusCode : int {
+  kOk = 200,
+  kNoContent = 204,
+  kMovedPermanently = 301,
+  kFound = 302,
+  kNotModified = 304,
+  kBadRequest = 400,
+  kForbidden = 403,
+  kNotFound = 404,
+  kTooManyRequests = 429,
+  kInternalServerError = 500,
+  kBadGateway = 502,
+  kServiceUnavailable = 503,
+};
+
+constexpr int StatusValue(StatusCode s) { return static_cast<int>(s); }
+
+constexpr bool Is2xx(StatusCode s) { return StatusValue(s) / 100 == 2; }
+constexpr bool Is3xx(StatusCode s) { return StatusValue(s) / 100 == 3; }
+constexpr bool Is4xx(StatusCode s) { return StatusValue(s) / 100 == 4; }
+constexpr bool Is5xx(StatusCode s) { return StatusValue(s) / 100 == 5; }
+
+std::string_view ReasonPhrase(StatusCode s);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_HTTP_STATUS_H_

@@ -1,0 +1,170 @@
+#include "src/http/url.h"
+
+#include "src/util/strings.h"
+
+namespace robodet {
+namespace {
+
+bool IsValidHostChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '.' ||
+         c == '-' || c == '_';
+}
+
+}  // namespace
+
+std::optional<Url> Url::Parse(std::string_view raw) {
+  Url url;
+  const size_t scheme_end = raw.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return std::nullopt;
+  }
+  std::string scheme = AsciiLower(raw.substr(0, scheme_end));
+  if (scheme != "http" && scheme != "https") {
+    return std::nullopt;
+  }
+  url.scheme_ = scheme;
+  url.port_ = scheme == "https" ? 443 : 80;
+
+  std::string_view rest = raw.substr(scheme_end + 3);
+  const size_t authority_end = rest.find_first_of("/?#");
+  std::string_view authority =
+      authority_end == std::string_view::npos ? rest : rest.substr(0, authority_end);
+  if (authority.empty()) {
+    return std::nullopt;
+  }
+
+  const size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    const auto port = ParseU64(authority.substr(colon + 1));
+    if (!port.has_value() || *port == 0 || *port > 65535) {
+      return std::nullopt;
+    }
+    url.port_ = static_cast<uint16_t>(*port);
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) {
+    return std::nullopt;
+  }
+  for (char c : authority) {
+    if (!IsValidHostChar(c)) {
+      return std::nullopt;
+    }
+  }
+  url.host_ = AsciiLower(authority);
+
+  if (authority_end == std::string_view::npos) {
+    return url;
+  }
+  rest = rest.substr(authority_end);
+
+  // Fragment first (it binds last in the grammar).
+  const size_t hash = rest.find('#');
+  if (hash != std::string_view::npos) {
+    url.fragment_ = std::string(rest.substr(hash + 1));
+    rest = rest.substr(0, hash);
+  }
+  const size_t qmark = rest.find('?');
+  if (qmark != std::string_view::npos) {
+    url.has_query_ = true;
+    url.query_ = std::string(rest.substr(qmark + 1));
+    rest = rest.substr(0, qmark);
+  }
+  url.path_ = rest.empty() ? "/" : std::string(rest);
+  if (url.path_[0] != '/') {
+    return std::nullopt;
+  }
+  return url;
+}
+
+Url Url::Make(std::string_view host, std::string_view path, std::string_view query) {
+  Url url;
+  url.host_ = AsciiLower(host);
+  url.path_ = path.empty() ? "/" : std::string(path);
+  if (!query.empty()) {
+    url.has_query_ = true;
+    url.query_ = std::string(query);
+  }
+  return url;
+}
+
+std::string Url::Extension() const {
+  const std::string_view name = Filename();
+  const size_t dot = name.rfind('.');
+  if (dot == std::string_view::npos || dot + 1 == name.size()) {
+    return "";
+  }
+  return AsciiLower(name.substr(dot + 1));
+}
+
+std::string_view Url::Filename() const {
+  const size_t slash = path_.rfind('/');
+  return std::string_view(path_).substr(slash + 1);
+}
+
+std::string Url::ToString() const {
+  std::string out = scheme_;
+  out += "://";
+  out += host_;
+  const bool default_port = (scheme_ == "http" && port_ == 80) ||
+                            (scheme_ == "https" && port_ == 443);
+  if (!default_port) {
+    out += ':';
+    out += std::to_string(port_);
+  }
+  out += path_;
+  if (has_query_) {
+    out += '?';
+    out += query_;
+  }
+  if (!fragment_.empty()) {
+    out += '#';
+    out += fragment_;
+  }
+  return out;
+}
+
+Url Url::Resolve(std::string_view ref) const {
+  if (ref.find("://") != std::string_view::npos) {
+    if (auto abs = Parse(ref); abs.has_value()) {
+      return *abs;
+    }
+    // Malformed absolute reference: fall back to self.
+    return *this;
+  }
+  Url out = *this;
+  out.fragment_.clear();
+  out.query_.clear();
+  out.has_query_ = false;
+
+  std::string_view rest = ref;
+  const size_t hash = rest.find('#');
+  std::string fragment;
+  if (hash != std::string_view::npos) {
+    fragment = std::string(rest.substr(hash + 1));
+    rest = rest.substr(0, hash);
+  }
+  const size_t qmark = rest.find('?');
+  std::string query;
+  bool has_query = false;
+  if (qmark != std::string_view::npos) {
+    has_query = true;
+    query = std::string(rest.substr(qmark + 1));
+    rest = rest.substr(0, qmark);
+  }
+
+  if (rest.empty()) {
+    // Same document, possibly new query/fragment.
+    out.path_ = path_;
+  } else if (rest[0] == '/') {
+    out.path_ = std::string(rest);
+  } else {
+    const size_t slash = path_.rfind('/');
+    out.path_ = path_.substr(0, slash + 1) + std::string(rest);
+  }
+  out.query_ = std::move(query);
+  out.has_query_ = has_query;
+  out.fragment_ = std::move(fragment);
+  return out;
+}
+
+}  // namespace robodet

@@ -1,0 +1,202 @@
+#include "src/http/wire.h"
+
+#include "src/util/strings.h"
+
+namespace robodet {
+namespace {
+
+// Consumes one line terminated by CRLF (or bare LF, which real traffic
+// contains); returns the line without the terminator and advances `pos`.
+std::optional<std::string_view> NextLine(std::string_view text, size_t& pos) {
+  if (pos >= text.size()) {
+    return std::nullopt;
+  }
+  const size_t lf = text.find('\n', pos);
+  if (lf == std::string_view::npos) {
+    return std::nullopt;
+  }
+  size_t end = lf;
+  if (end > pos && text[end - 1] == '\r') {
+    --end;
+  }
+  std::string_view line = text.substr(pos, end - pos);
+  pos = lf + 1;
+  return line;
+}
+
+// Parses the header block starting at `pos`; stops after the blank line.
+// Returns false (with error filled) on syntactically broken headers.
+bool ParseHeaderBlock(std::string_view text, size_t& pos, Headers* headers,
+                      WireParseError* error) {
+  for (;;) {
+    const size_t line_start = pos;
+    const auto line = NextLine(text, pos);
+    if (!line.has_value()) {
+      error->message = "truncated header block (no blank line)";
+      error->offset = line_start;
+      return false;
+    }
+    if (line->empty()) {
+      return true;  // End of headers.
+    }
+    const size_t colon = line->find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      error->message = "malformed header line";
+      error->offset = line_start;
+      return false;
+    }
+    const std::string_view name = TrimWhitespace(line->substr(0, colon));
+    const std::string_view value = TrimWhitespace(line->substr(colon + 1));
+    if (name.empty() || name.find(' ') != std::string_view::npos) {
+      error->message = "malformed header name";
+      error->offset = line_start;
+      return false;
+    }
+    headers->Add(name, value);
+  }
+}
+
+bool IsHttpVersion(std::string_view token) {
+  return token == "HTTP/1.0" || token == "HTTP/1.1";
+}
+
+}  // namespace
+
+WireResult<Request> ParseRequestText(std::string_view text) {
+  WireResult<Request> result;
+  size_t pos = 0;
+  const auto start_line = NextLine(text, pos);
+  if (!start_line.has_value()) {
+    result.error = {"missing request line", 0};
+    return result;
+  }
+  const std::vector<std::string> parts = Split(*start_line, ' ');
+  if (parts.size() != 3) {
+    result.error = {"request line must be 'METHOD target HTTP/1.x'", 0};
+    return result;
+  }
+  const auto method = ParseMethod(parts[0]);
+  if (!method.has_value()) {
+    result.error = {"unknown method '" + parts[0] + "'", 0};
+    return result;
+  }
+  if (!IsHttpVersion(parts[2])) {
+    result.error = {"unsupported protocol version '" + parts[2] + "'", 0};
+    return result;
+  }
+
+  Request request;
+  request.method = *method;
+  if (!ParseHeaderBlock(text, pos, &request.headers, &result.error)) {
+    return result;
+  }
+
+  // Resolve the target: absolute form, or origin form + Host header.
+  const std::string& target = parts[1];
+  if (auto absolute = Url::Parse(target); absolute.has_value()) {
+    request.url = *absolute;
+  } else if (!target.empty() && target[0] == '/') {
+    const auto host = request.headers.Get("Host");
+    if (!host.has_value() || host->empty()) {
+      result.error = {"origin-form target without Host header", 0};
+      return result;
+    }
+    // Host may carry a port.
+    const std::string host_str(*host);
+    const auto with_host = Url::Parse("http://" + host_str + target);
+    if (!with_host.has_value()) {
+      result.error = {"unparseable Host + target combination", 0};
+      return result;
+    }
+    request.url = *with_host;
+  } else {
+    result.error = {"unsupported request target '" + target + "'", 0};
+    return result;
+  }
+  // Body: everything after the blank line, trimmed by Content-Length.
+  std::string_view body = text.substr(pos);
+  if (const auto cl = request.headers.Get("Content-Length"); cl.has_value()) {
+    if (const auto n = ParseU64(*cl); n.has_value() && *n <= body.size()) {
+      body = body.substr(0, *n);
+    }
+  }
+  request.body = std::string(body);
+  result.value = std::move(request);
+  return result;
+}
+
+WireResult<Response> ParseResponseText(std::string_view text) {
+  WireResult<Response> result;
+  size_t pos = 0;
+  const auto status_line = NextLine(text, pos);
+  if (!status_line.has_value()) {
+    result.error = {"missing status line", 0};
+    return result;
+  }
+  const std::vector<std::string> parts = Split(*status_line, ' ');
+  if (parts.size() < 2 || !IsHttpVersion(parts[0])) {
+    result.error = {"status line must be 'HTTP/1.x NNN [reason]'", 0};
+    return result;
+  }
+  const auto code = ParseU64(parts[1]);
+  if (!code.has_value() || *code < 100 || *code > 599) {
+    result.error = {"invalid status code '" + parts[1] + "'", 0};
+    return result;
+  }
+
+  Response response;
+  response.status = static_cast<StatusCode>(*code);
+  if (!ParseHeaderBlock(text, pos, &response.headers, &result.error)) {
+    return result;
+  }
+  if (const auto te = response.headers.Get("Transfer-Encoding");
+      te.has_value() && ContainsIgnoreCase(*te, "chunked")) {
+    result.error = {"chunked transfer encoding not supported", pos};
+    return result;
+  }
+  std::string_view body = text.substr(pos);
+  if (const auto cl = response.headers.Get("Content-Length"); cl.has_value()) {
+    if (const auto n = ParseU64(*cl); n.has_value() && *n <= body.size()) {
+      body = body.substr(0, *n);
+    }
+  }
+  response.body = std::string(body);
+  result.value = std::move(response);
+  return result;
+}
+
+std::string SerializeRequest(const Request& request) {
+  std::string out;
+  out += MethodName(request.method);
+  out += ' ';
+  out += request.url.ToString();
+  out += " HTTP/1.1\r\n";
+  for (const auto& [name, value] : request.headers.entries()) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += request.body;
+  return out;
+}
+
+std::string SerializeResponse(const Response& response) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(StatusValue(response.status));
+  out += ' ';
+  out += ReasonPhrase(response.status);
+  out += "\r\n";
+  for (const auto& [name, value] : response.headers.entries()) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace robodet

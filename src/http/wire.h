@@ -1,0 +1,48 @@
+// HTTP/1.x wire format: parse raw request/response text into the robodet
+// message records and serialize them back. This is the bridge an adopter
+// needs between robodet's detectors and real bytes — a socket, a pcap, a
+// stored capture. Parsing is strict about the envelope (start line, header
+// syntax, CRLF discipline) and tolerant about content (unknown headers and
+// methods for responses pass through untouched).
+#ifndef ROBODET_SRC_HTTP_WIRE_H_
+#define ROBODET_SRC_HTTP_WIRE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/http/request.h"
+
+namespace robodet {
+
+struct WireParseError {
+  std::string message;
+  size_t offset = 0;  // Byte offset of the problem in the input.
+};
+
+template <typename T>
+struct WireResult {
+  std::optional<T> value;
+  WireParseError error;  // Meaningful only when !value.
+  explicit operator bool() const { return value.has_value(); }
+};
+
+// Parses "METHOD target HTTP/1.x\r\nheaders\r\n\r\nbody". The target may
+// be an absolute URL (proxy form) or an origin-form path, in which case
+// the Host header supplies the authority. `client_ip` and `time` are not
+// on the wire; callers stamp them afterwards.
+WireResult<Request> ParseRequestText(std::string_view text);
+
+// Parses "HTTP/1.x NNN Reason\r\nheaders\r\n\r\nbody". The body is
+// everything after the blank line (Content-Length, when present and sane,
+// trims it; chunked encoding is not supported and is reported as an
+// error rather than misparsed).
+WireResult<Response> ParseResponseText(std::string_view text);
+
+// Serialization, inverse of the above modulo header normalization.
+std::string SerializeRequest(const Request& request);
+std::string SerializeResponse(const Response& response);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_HTTP_WIRE_H_

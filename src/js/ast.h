@@ -1,0 +1,70 @@
+// AST for the robodet JavaScript dialect. Tagged structs rather than a
+// class hierarchy: the grammar is small and the interpreter is the only
+// consumer, so a compact representation beats a visitor framework.
+#ifndef ROBODET_SRC_JS_AST_H_
+#define ROBODET_SRC_JS_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace robodet {
+
+struct JsExpr;
+struct JsStmt;
+using JsExprPtr = std::unique_ptr<JsExpr>;
+using JsStmtPtr = std::unique_ptr<JsStmt>;
+
+enum class JsExprKind {
+  kNumber,      // number_value
+  kString,      // string_value
+  kBool,        // bool_value
+  kNull,        // -
+  kUndefined,   // -
+  kIdentifier,  // name
+  kUnary,       // op, children[0]
+  kBinary,      // op, children[0..1]
+  kLogical,     // op ("&&"/"||"), children[0..1]; short-circuits
+  kAssign,      // op ("=","+=",...), children[0]=target, children[1]=value
+  kConditional, // children[0]=cond, [1]=then, [2]=else
+  kCall,        // children[0]=callee, children[1..]=args
+  kMember,      // children[0]=object, name=property
+  kNew,         // name=constructor, children=args
+};
+
+struct JsExpr {
+  JsExprKind kind = JsExprKind::kUndefined;
+  double number_value = 0.0;
+  std::string string_value;
+  bool bool_value = false;
+  std::string name;  // Identifier name, member property, operator, constructor.
+  std::string op;
+  std::vector<JsExprPtr> children;
+};
+
+enum class JsStmtKind {
+  kExpr,      // expr
+  kVar,       // name, expr (optional init)
+  kFunction,  // name, params, body
+  kIf,        // expr=cond, body=then, else_body
+  kWhile,     // expr=cond, body
+  kReturn,    // expr (optional)
+  kBlock,     // body
+};
+
+struct JsStmt {
+  JsStmtKind kind = JsStmtKind::kExpr;
+  std::string name;
+  std::vector<std::string> params;
+  JsExprPtr expr;
+  std::vector<JsStmtPtr> body;
+  std::vector<JsStmtPtr> else_body;
+};
+
+struct JsProgram {
+  std::vector<JsStmtPtr> statements;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_JS_AST_H_

@@ -1,0 +1,152 @@
+#include "src/js/generator.h"
+
+#include <algorithm>
+
+#include "src/js/obfuscator.h"
+#include "src/js/transforms.h"
+#include "src/util/strings.h"
+
+namespace robodet {
+namespace {
+
+// URL shapes. Beacon images:   http://<host><prefix>bk_<key>.jpg
+// UA-echo stylesheets:         http://<host><prefix>ua_<token>_<agent>.css
+constexpr std::string_view kBeaconStem = "bk_";
+constexpr std::string_view kUaEchoStem = "ua_";
+
+std::string BeaconUrl(const BeaconSpec& spec, const std::string& key) {
+  return "http://" + spec.host + spec.path_prefix + std::string(kBeaconStem) + key + ".jpg";
+}
+
+// One guarded fetcher function in the Figure-1 shape.
+void AppendFetcher(std::string& out, int index, const std::string& url) {
+  const std::string flag = "done_" + std::to_string(index);
+  const std::string fn = "fetch_" + std::to_string(index);
+  out += "var " + flag + " = false;\n";
+  out += "function " + fn + "() {\n";
+  out += "  if (" + flag + " == false) {\n";
+  out += "    var img = new Image();\n";
+  out += "    " + flag + " = true;\n";
+  out += "    img.src = '" + url + "';\n";
+  out += "    return true;\n";
+  out += "  }\n";
+  out += "  return false;\n";
+  out += "}\n";
+}
+
+}  // namespace
+
+GeneratedBeacon GenerateBeaconScript(const BeaconSpec& spec, Rng& rng) {
+  GeneratedBeacon out;
+  out.real_url = BeaconUrl(spec, spec.real_key);
+  for (const std::string& k : spec.decoy_keys) {
+    out.decoy_urls.push_back(BeaconUrl(spec, k));
+  }
+
+  // Shuffle the real fetcher in among the decoys so its position carries no
+  // information.
+  const size_t n = spec.decoy_keys.size() + 1;
+  std::vector<std::string> urls = out.decoy_urls;
+  const size_t real_pos = static_cast<size_t>(rng.UniformU64(n));
+  urls.insert(urls.begin() + static_cast<ptrdiff_t>(real_pos), out.real_url);
+
+  std::string src;
+  src.reserve(512 * n);
+  for (size_t i = 0; i < n; ++i) {
+    AppendFetcher(src, static_cast<int>(i), urls[i]);
+  }
+
+  // The dispatcher: selects the real fetcher via arithmetic that a lexical
+  // scraper cannot resolve without evaluating it.
+  const uint64_t a = 3 + rng.UniformU64(97);
+  const uint64_t b = 3 + rng.UniformU64(97);
+  const uint64_t c = (real_pos + n * 200 - (a * b) % n) % n;
+  src += "function dispatch() {\n";
+  src += "  var sel = (" + std::to_string(a) + " * " + std::to_string(b) + " + " +
+         std::to_string(c) + ") % " + std::to_string(n) + ";\n";
+  for (size_t i = 0; i < n; ++i) {
+    src += "  if (sel == " + std::to_string(i) + ") { return fetch_" + std::to_string(i) +
+           "(); }\n";
+  }
+  src += "  return false;\n";
+  src += "}\n";
+
+  std::string dispatcher_name = "dispatch";
+  if (spec.obfuscation_level >= 5) {
+    TransformResult encoded = EncodeStringsAsCharCodes(src, rng);
+    if (encoded.ok) {
+      src = std::move(encoded.source);
+    }
+  }
+  if (spec.obfuscation_level >= 4) {
+    // AST-level pass first: opaque predicates survive the token-level
+    // renaming/splitting that follows.
+    TransformResult transformed = ApplyOpaquePredicates(src, 8, rng);
+    if (transformed.ok) {
+      src = std::move(transformed.source);
+    }
+  }
+  if (spec.obfuscation_level > 0) {
+    ObfuscationOptions options;
+    options.rename_identifiers = true;
+    // At level 5 the long literals are gone; splitting would only mangle
+    // short leftovers.
+    options.split_strings = spec.obfuscation_level >= 2 && spec.obfuscation_level < 5;
+    options.junk_statements = spec.obfuscation_level >= 3 ? 8 : 0;
+    options.pad_to_bytes = spec.obfuscation_level >= 3 ? spec.pad_to_bytes : 0;
+    ObfuscationResult obf = ObfuscateJs(src, options, rng);
+    if (obf.ok) {
+      src = std::move(obf.source);
+      dispatcher_name = obf.RenamedOrSelf("dispatch");
+    }
+  }
+
+  out.script_source = std::move(src);
+  out.handler_code = "return " + dispatcher_name + "();";
+  return out;
+}
+
+std::string GenerateUaEchoScript(const std::string& host, const std::string& path_prefix,
+                                 const std::string& token) {
+  // On execution, writes a stylesheet link whose URL carries the token plus
+  // the lowercased, space-stripped runtime user agent (Figure 1's
+  // getuseragnt()). A client that fetches the written stylesheet has, by
+  // construction, executed JavaScript.
+  std::string src;
+  src += "var agt = navigator.userAgent.toLowerCase();\n";
+  src += "agt = agt.replaceAll(' ', '');\n";
+  src += "agt = agt.replaceAll('/', '-');\n";
+  src += "document.write('<link rel=\"stylesheet\" type=\"text/css\" href=\"http://" + host +
+         path_prefix + std::string(kUaEchoStem) + token + "_' + agt + '.css\">');\n";
+  return src;
+}
+
+std::string ExtractStemName(const std::string& path, const std::string& path_prefix,
+                            std::string_view stem, std::string_view ext) {
+  const std::string head = path_prefix + std::string(stem);
+  if (path.size() <= head.size() + ext.size() || path.compare(0, head.size(), head) != 0) {
+    return "";
+  }
+  if (path.compare(path.size() - ext.size(), ext.size(), ext) != 0) {
+    return "";
+  }
+  return path.substr(head.size(), path.size() - head.size() - ext.size());
+}
+
+std::string ExtractBeaconKey(const std::string& path, const std::string& path_prefix) {
+  return ExtractStemName(path, path_prefix, kBeaconStem, ".jpg");
+}
+
+std::string ExtractUaEchoToken(const std::string& path, const std::string& path_prefix) {
+  const std::string middle = ExtractStemName(path, path_prefix, kUaEchoStem, ".css");
+  const size_t underscore = middle.find('_');
+  return underscore == std::string::npos ? middle : middle.substr(0, underscore);
+}
+
+std::string ExtractUaEchoAgent(const std::string& path, const std::string& path_prefix) {
+  const std::string middle = ExtractStemName(path, path_prefix, kUaEchoStem, ".css");
+  const size_t underscore = middle.find('_');
+  return underscore == std::string::npos ? "" : middle.substr(underscore + 1);
+}
+
+}  // namespace robodet

@@ -1,0 +1,73 @@
+// Beacon-script generation: the server-side half of §2.1. For each page
+// served to each client the proxy generates a fresh script containing one
+// real beacon fetcher (image URL carrying the random key k) and m decoy
+// fetchers carrying wrong keys. The handler wired into the page calls a
+// dispatcher whose arithmetic selects the real fetcher only at run time, so
+// a robot that merely scrapes URLs out of the script — or out of the HTML —
+// cannot tell the real beacon from the decoys without executing the code.
+#ifndef ROBODET_SRC_JS_GENERATOR_H_
+#define ROBODET_SRC_JS_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace robodet {
+
+struct BeaconSpec {
+  // Host and path prefix for the beacon image URLs, e.g.
+  // "www.example.com" + "/__rd/" -> http://www.example.com/__rd/<key>.jpg.
+  std::string host;
+  std::string path_prefix = "/";
+  // The real key k (hex); requests carrying it prove human activity.
+  std::string real_key;
+  // Wrong keys for the m decoy fetchers.
+  std::vector<std::string> decoy_keys;
+  // 0: plain (Figure 1 style). 1: +identifier renaming. 2: +string
+  // splitting. 3: +junk statements and padding. 4: +AST-level opaque
+  // predicates. 5: +String.fromCharCode encoding — beacon URLs no longer
+  // appear as string literals at all (js/transforms.h).
+  int obfuscation_level = 0;
+  // With level >= 3, pad the script with junk to at least this many bytes
+  // (the paper's measured scripts were ~1KB). 0 disables.
+  size_t pad_to_bytes = 0;
+};
+
+struct GeneratedBeacon {
+  // Contents of the external .js file.
+  std::string script_source;
+  // Attribute value for onmousemove/onclick, e.g. "return d12();".
+  std::string handler_code;
+  // The URL the script fetches when the handler fires.
+  std::string real_url;
+  // URLs of the decoys, in script order.
+  std::vector<std::string> decoy_urls;
+};
+
+GeneratedBeacon GenerateBeaconScript(const BeaconSpec& spec, Rng& rng);
+
+// The UA-echo inline script (second <script> block in Figure 1): on
+// execution it document.write()s a stylesheet link whose URL embeds a
+// session token plus the sanitized navigator.userAgent, telling the server
+// both "this client executes JavaScript" and what the *actual* runtime
+// claims to be (vs. the easily forged User-Agent header).
+std::string GenerateUaEchoScript(const std::string& host, const std::string& path_prefix,
+                                 const std::string& token);
+
+// Parses a beacon or UA-echo URL path back into its key/token. Returns the
+// empty string when the path does not look like one of ours.
+std::string ExtractBeaconKey(const std::string& path, const std::string& path_prefix);
+
+// Generic instrumented-path splitter: returns the text between
+// <path_prefix><stem> and the trailing <ext>, or "" on shape mismatch.
+std::string ExtractStemName(const std::string& path, const std::string& path_prefix,
+                            std::string_view stem, std::string_view ext);
+std::string ExtractUaEchoToken(const std::string& path, const std::string& path_prefix);
+// The user-agent string embedded in a UA-echo path, un-sanitized no further
+// (lowercased, space-stripped, as the script built it).
+std::string ExtractUaEchoAgent(const std::string& path, const std::string& path_prefix);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_JS_GENERATOR_H_

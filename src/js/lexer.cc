@@ -1,0 +1,249 @@
+#include "src/js/lexer.h"
+
+#include <cctype>
+
+namespace robodet {
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == '$';
+}
+
+bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
+
+// Multi-character punctuators, longest first.
+const char* const kPuncts3[] = {"===", "!=="};
+const char* const kPuncts2[] = {"==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/="};
+
+}  // namespace
+
+bool IsJsKeyword(std::string_view word) {
+  return word == "var" || word == "function" || word == "if" || word == "else" ||
+         word == "return" || word == "new" || word == "true" || word == "false" ||
+         word == "null" || word == "undefined" || word == "while" || word == "for" ||
+         word == "typeof";
+}
+
+JsLexResult LexJs(std::string_view source) {
+  JsLexResult result;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto fail = [&result](size_t at, std::string msg) {
+    result.ok = false;
+    result.error = msg + " at offset " + std::to_string(at);
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const size_t end = source.find("*/", i + 2);
+      if (end == std::string_view::npos) {
+        fail(i, "unterminated block comment");
+        return result;
+      }
+      i = end + 2;
+      continue;
+    }
+    // Strings.
+    if (c == '\'' || c == '"') {
+      JsToken tok;
+      tok.type = JsTokenType::kString;
+      tok.quote = c;
+      tok.offset = i;
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        const char d = source[i];
+        if (d == '\\') {
+          if (i + 1 >= n) {
+            break;
+          }
+          const char e = source[i + 1];
+          switch (e) {
+            case 'n':
+              value.push_back('\n');
+              break;
+            case 't':
+              value.push_back('\t');
+              break;
+            case 'r':
+              value.push_back('\r');
+              break;
+            default:
+              value.push_back(e);
+              break;
+          }
+          i += 2;
+          continue;
+        }
+        if (d == c) {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (d == '\n') {
+          break;  // Newline in string literal: error out below.
+        }
+        value.push_back(d);
+        ++i;
+      }
+      if (!closed) {
+        fail(tok.offset, "unterminated string literal");
+        return result;
+      }
+      tok.text = std::move(value);
+      result.tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Numbers.
+    if ((c >= '0' && c <= '9') ||
+        (c == '.' && i + 1 < n && source[i + 1] >= '0' && source[i + 1] <= '9')) {
+      JsToken tok;
+      tok.type = JsTokenType::kNumber;
+      tok.offset = i;
+      const size_t start = i;
+      bool seen_dot = false;
+      while (i < n &&
+             ((source[i] >= '0' && source[i] <= '9') || (source[i] == '.' && !seen_dot))) {
+        if (source[i] == '.') {
+          seen_dot = true;
+        }
+        ++i;
+      }
+      tok.text = std::string(source.substr(start, i - start));
+      result.tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Identifiers and keywords.
+    if (IsIdentStart(c)) {
+      JsToken tok;
+      tok.offset = i;
+      const size_t start = i;
+      while (i < n && IsIdentChar(source[i])) {
+        ++i;
+      }
+      tok.text = std::string(source.substr(start, i - start));
+      tok.type = IsJsKeyword(tok.text) ? JsTokenType::kKeyword : JsTokenType::kIdentifier;
+      result.tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Punctuators.
+    {
+      JsToken tok;
+      tok.type = JsTokenType::kPunct;
+      tok.offset = i;
+      bool matched = false;
+      for (const char* p : kPuncts3) {
+        if (source.compare(i, 3, p) == 0) {
+          tok.text = p;
+          i += 3;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        for (const char* p : kPuncts2) {
+          if (source.compare(i, 2, p) == 0) {
+            tok.text = p;
+            i += 2;
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (!matched) {
+        static const std::string_view kSingle = "+-*/%=<>!(){}[];,.?:";
+        if (kSingle.find(c) == std::string_view::npos) {
+          fail(i, std::string("unexpected character '") + c + "'");
+          return result;
+        }
+        tok.text = std::string(1, c);
+        ++i;
+      }
+      result.tokens.push_back(std::move(tok));
+    }
+  }
+  JsToken eof;
+  eof.type = JsTokenType::kEof;
+  eof.offset = n;
+  result.tokens.push_back(std::move(eof));
+  return result;
+}
+
+std::string EmitJs(const std::vector<JsToken>& tokens) {
+  std::string out;
+  auto needs_space = [](const JsToken& prev, const JsToken& cur) {
+    auto wordy = [](const JsToken& t) {
+      return t.type == JsTokenType::kIdentifier || t.type == JsTokenType::kKeyword ||
+             t.type == JsTokenType::kNumber;
+    };
+    if (wordy(prev) && wordy(cur)) {
+      return true;
+    }
+    // Avoid gluing punctuators into longer ones (e.g. "=" "=" -> "==").
+    if (prev.type == JsTokenType::kPunct && cur.type == JsTokenType::kPunct) {
+      static const std::string_view kSticky = "=+-<>!&|*/";
+      if (!prev.text.empty() && !cur.text.empty() &&
+          kSticky.find(prev.text.back()) != std::string_view::npos &&
+          kSticky.find(cur.text.front()) != std::string_view::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const JsToken* prev = nullptr;
+  for (const JsToken& tok : tokens) {
+    if (tok.type == JsTokenType::kEof) {
+      break;
+    }
+    if (prev != nullptr && needs_space(*prev, tok)) {
+      out.push_back(' ');
+    }
+    if (tok.type == JsTokenType::kString) {
+      out.push_back(tok.quote);
+      for (char c : tok.text) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (c == tok.quote) {
+              out.push_back('\\');
+            }
+            out.push_back(c);
+            break;
+        }
+      }
+      out.push_back(tok.quote);
+    } else {
+      out += tok.text;
+    }
+    prev = &tok;
+  }
+  return out;
+}
+
+}  // namespace robodet

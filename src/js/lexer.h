@@ -1,0 +1,54 @@
+// Lexer for the robodet JavaScript dialect: the subset of JavaScript that
+// the beacon generator emits (Figure 1 of the paper) plus enough slack for
+// hand-written test scripts. The obfuscator also works on this token
+// stream, which is what makes obfuscation semantics-preserving by
+// construction.
+#ifndef ROBODET_SRC_JS_LEXER_H_
+#define ROBODET_SRC_JS_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace robodet {
+
+enum class JsTokenType {
+  kIdentifier,
+  kKeyword,
+  kNumber,
+  kString,
+  kPunct,
+  kEof,
+};
+
+struct JsToken {
+  JsTokenType type = JsTokenType::kEof;
+  // Identifier/keyword/punct text, or the *decoded* value for strings, or
+  // the literal spelling for numbers.
+  std::string text;
+  // Quote character for string tokens ('\'' or '"').
+  char quote = '\'';
+  size_t offset = 0;  // Byte offset in the source, for error messages.
+};
+
+struct JsLexResult {
+  bool ok = true;
+  std::string error;
+  std::vector<JsToken> tokens;  // Ends with a kEof token when ok.
+};
+
+// Keywords of the dialect.
+bool IsJsKeyword(std::string_view word);
+
+// Tokenizes `source`. Handles // and /* */ comments, string escapes
+// (\\ \' \" \n \t), decimal numbers. Unterminated strings or comments
+// produce ok=false with a message.
+JsLexResult LexJs(std::string_view source);
+
+// Re-emits tokens as compact source (single spaces only where required).
+// Lex(Emit(tokens)) == tokens, which the obfuscator relies on.
+std::string EmitJs(const std::vector<JsToken>& tokens);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_JS_LEXER_H_

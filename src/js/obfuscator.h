@@ -1,0 +1,43 @@
+// Lexical obfuscation (§2.1: "Adding lexical obfuscation can further
+// increase the difficulty in deciphering the script"). Token-level
+// transforms that provably preserve the semantics our interpreter assigns:
+// consistent identifier renaming, string-literal splitting, junk-statement
+// insertion. A property test executes scripts before and after obfuscation
+// and asserts identical observable behaviour.
+#ifndef ROBODET_SRC_JS_OBFUSCATOR_H_
+#define ROBODET_SRC_JS_OBFUSCATOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/rng.h"
+
+namespace robodet {
+
+struct ObfuscationOptions {
+  bool rename_identifiers = true;
+  bool split_strings = true;
+  // How many junk `var x = <arith>;` statements to sprinkle at top level.
+  int junk_statements = 0;
+  // Append junk functions until the source reaches this size; 0 disables.
+  size_t pad_to_bytes = 0;
+};
+
+struct ObfuscationResult {
+  bool ok = false;
+  std::string error;
+  std::string source;
+  // Renaming map (old -> new) for callers that must keep references in
+  // sync, e.g. the handler attribute naming the dispatcher function.
+  std::string RenamedOrSelf(const std::string& name) const;
+  std::vector<std::pair<std::string, std::string>> renames;
+};
+
+// Host names and property names are never renamed; identifiers following a
+// '.' are property accesses and keep their spelling.
+ObfuscationResult ObfuscateJs(std::string_view source, const ObfuscationOptions& options,
+                              Rng& rng);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_JS_OBFUSCATOR_H_

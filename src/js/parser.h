@@ -1,0 +1,24 @@
+// Recursive-descent parser for the robodet JavaScript dialect.
+#ifndef ROBODET_SRC_JS_PARSER_H_
+#define ROBODET_SRC_JS_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/js/ast.h"
+
+namespace robodet {
+
+struct JsParseResult {
+  bool ok = false;
+  std::string error;
+  std::shared_ptr<JsProgram> program;  // Shared so compiled scripts can be cached.
+};
+
+// Parses a full program. Never throws; malformed input yields ok=false.
+JsParseResult ParseJs(std::string_view source);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_JS_PARSER_H_

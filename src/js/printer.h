@@ -1,0 +1,20 @@
+// AST-to-source printer for the robodet JavaScript dialect. Emits fully
+// parenthesized expressions, so the output is unambiguous regardless of
+// operator precedence and survives a parse round trip unchanged in
+// meaning. Used by the AST-level obfuscation transforms.
+#ifndef ROBODET_SRC_JS_PRINTER_H_
+#define ROBODET_SRC_JS_PRINTER_H_
+
+#include <string>
+
+#include "src/js/ast.h"
+
+namespace robodet {
+
+std::string PrintJs(const JsProgram& program);
+std::string PrintJsStatement(const JsStmt& stmt);
+std::string PrintJsExpression(const JsExpr& expr);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_JS_PRINTER_H_

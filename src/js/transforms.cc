@@ -1,0 +1,159 @@
+#include "src/js/transforms.h"
+
+#include <vector>
+
+#include "src/js/parser.h"
+#include "src/js/printer.h"
+
+namespace robodet {
+namespace {
+
+JsExprPtr Number(double v) {
+  auto e = std::make_unique<JsExpr>();
+  e->kind = JsExprKind::kNumber;
+  e->number_value = v;
+  return e;
+}
+
+JsExprPtr Ident(std::string name) {
+  auto e = std::make_unique<JsExpr>();
+  e->kind = JsExprKind::kIdentifier;
+  e->name = std::move(name);
+  return e;
+}
+
+JsExprPtr Binary(std::string op, JsExprPtr lhs, JsExprPtr rhs) {
+  auto e = std::make_unique<JsExpr>();
+  e->kind = JsExprKind::kBinary;
+  e->op = std::move(op);
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+// ((n * n + n) % 2) == 0 — true for every integer n, but opaque to a
+// scraper that does not evaluate arithmetic.
+JsExprPtr OpaqueTruth(Rng& rng) {
+  const double n = static_cast<double>(rng.UniformU64(1000) + 2);
+  JsExprPtr n_squared_plus_n =
+      Binary("+", Binary("*", Number(n), Number(n)), Number(n));
+  return Binary("==", Binary("%", std::move(n_squared_plus_n), Number(2.0)), Number(0.0));
+}
+
+// Junk arm: an assignment to a fresh name that nothing reads.
+JsStmtPtr JunkStatement(Rng& rng) {
+  auto stmt = std::make_unique<JsStmt>();
+  stmt->kind = JsStmtKind::kVar;
+  stmt->name = "_op" + std::to_string(rng.UniformU64(1000000));
+  stmt->expr = Binary("-", Number(static_cast<double>(rng.UniformU64(100000))),
+                      Number(static_cast<double>(rng.UniformU64(100000))));
+  return stmt;
+}
+
+// Collects wrappable statement slots (pointers into statement lists).
+// Function declarations are excluded: hoisting must see them at the list
+// level. Var declarations stay wrappable because if-bodies execute in the
+// same scope in this dialect (and in sloppy-mode JavaScript via hoisting).
+void CollectSlots(std::vector<JsStmtPtr>& body, std::vector<JsStmtPtr*>& slots) {
+  for (JsStmtPtr& stmt : body) {
+    switch (stmt->kind) {
+      case JsStmtKind::kFunction:
+        CollectSlots(stmt->body, slots);
+        break;
+      case JsStmtKind::kIf:
+        CollectSlots(stmt->body, slots);
+        CollectSlots(stmt->else_body, slots);
+        break;
+      case JsStmtKind::kWhile:
+      case JsStmtKind::kBlock:
+        CollectSlots(stmt->body, slots);
+        break;
+      case JsStmtKind::kExpr:
+      case JsStmtKind::kVar:
+      case JsStmtKind::kReturn:
+        slots.push_back(&stmt);
+        break;
+    }
+  }
+}
+
+void WrapSlot(JsStmtPtr* slot, Rng& rng) {
+  auto wrapper = std::make_unique<JsStmt>();
+  wrapper->kind = JsStmtKind::kIf;
+  wrapper->expr = OpaqueTruth(rng);
+  wrapper->body.push_back(std::move(*slot));
+  wrapper->else_body.push_back(JunkStatement(rng));
+  *slot = std::move(wrapper);
+}
+
+// Replaces kString nodes (recursively) with String.fromCharCode calls.
+void EncodeStringsInExpr(JsExprPtr& expr, size_t min_length) {
+  if (expr == nullptr) {
+    return;
+  }
+  for (JsExprPtr& child : expr->children) {
+    EncodeStringsInExpr(child, min_length);
+  }
+  if (expr->kind != JsExprKind::kString || expr->string_value.size() < min_length) {
+    return;
+  }
+  auto member = std::make_unique<JsExpr>();
+  member->kind = JsExprKind::kMember;
+  member->name = "fromCharCode";
+  member->children.push_back(Ident("String"));
+
+  auto call = std::make_unique<JsExpr>();
+  call->kind = JsExprKind::kCall;
+  call->children.push_back(std::move(member));
+  for (unsigned char c : expr->string_value) {
+    call->children.push_back(Number(static_cast<double>(c)));
+  }
+  expr = std::move(call);
+}
+
+void EncodeStringsInStatements(std::vector<JsStmtPtr>& body, size_t min_length) {
+  for (JsStmtPtr& stmt : body) {
+    EncodeStringsInExpr(stmt->expr, min_length);
+    EncodeStringsInStatements(stmt->body, min_length);
+    EncodeStringsInStatements(stmt->else_body, min_length);
+  }
+}
+
+}  // namespace
+
+TransformResult EncodeStringsAsCharCodes(std::string_view source, Rng& rng,
+                                         size_t min_length) {
+  (void)rng;  // Deterministic transform; kept in the signature for symmetry.
+  TransformResult result;
+  JsParseResult parsed = ParseJs(source);
+  if (!parsed.ok) {
+    result.error = "parse error: " + parsed.error;
+    return result;
+  }
+  EncodeStringsInStatements(parsed.program->statements, min_length);
+  result.ok = true;
+  result.source = PrintJs(*parsed.program);
+  return result;
+}
+
+TransformResult ApplyOpaquePredicates(std::string_view source, int count, Rng& rng) {
+  TransformResult result;
+  JsParseResult parsed = ParseJs(source);
+  if (!parsed.ok) {
+    result.error = "parse error: " + parsed.error;
+    return result;
+  }
+  std::vector<JsStmtPtr*> slots;
+  CollectSlots(parsed.program->statements, slots);
+  rng.Shuffle(slots);
+  const size_t wraps = std::min<size_t>(slots.size(), count > 0 ? static_cast<size_t>(count)
+                                                                : 0);
+  for (size_t i = 0; i < wraps; ++i) {
+    WrapSlot(slots[i], rng);
+  }
+  result.ok = true;
+  result.source = PrintJs(*parsed.program);
+  return result;
+}
+
+}  // namespace robodet

@@ -1,0 +1,37 @@
+// AST-level obfuscation transforms — the heavier end of §2.1's "lexical
+// obfuscation can further increase the difficulty in deciphering the
+// script". Opaque predicates wrap real statements in branches whose
+// condition is a number-theoretic truth (n² + n is always even) that a
+// static scraper cannot resolve without evaluating, padding the false arm
+// with junk. Property tests assert observable behaviour is preserved.
+#ifndef ROBODET_SRC_JS_TRANSFORMS_H_
+#define ROBODET_SRC_JS_TRANSFORMS_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/util/rng.h"
+
+namespace robodet {
+
+struct TransformResult {
+  bool ok = false;
+  std::string error;
+  std::string source;
+};
+
+// Parses `source`, wraps up to `count` statements (inside function bodies
+// and at top level) in opaque-predicate branches, and prints the result.
+// Function declarations are never wrapped (hoisting must keep working).
+TransformResult ApplyOpaquePredicates(std::string_view source, int count, Rng& rng);
+
+// Rewrites every string literal of length >= min_length into a
+// String.fromCharCode(...) call, removing it from the script's lexical
+// surface altogether: a scraper grepping for URLs finds nothing. (The
+// paper's "lexical obfuscation" taken to its endpoint.)
+TransformResult EncodeStringsAsCharCodes(std::string_view source, Rng& rng,
+                                         size_t min_length = 4);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_JS_TRANSFORMS_H_

@@ -1,0 +1,36 @@
+#include "src/ml/dataset.h"
+
+namespace robodet {
+
+size_t Dataset::CountLabel(int label) const {
+  size_t n = 0;
+  for (const Example& e : examples) {
+    if (e.label == label) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TrainTestSplit StratifiedSplit(const Dataset& data, double train_fraction, Rng& rng) {
+  TrainTestSplit out;
+  for (int label : {kLabelRobot, kLabelHuman}) {
+    std::vector<const Example*> pool;
+    for (const Example& e : data.examples) {
+      if (e.label == label) {
+        pool.push_back(&e);
+      }
+    }
+    rng.Shuffle(pool);
+    const size_t n_train = static_cast<size_t>(train_fraction * static_cast<double>(pool.size()));
+    for (size_t i = 0; i < pool.size(); ++i) {
+      (i < n_train ? out.train : out.test).examples.push_back(*pool[i]);
+    }
+  }
+  // Interleave classes so downstream consumers see no label runs.
+  rng.Shuffle(out.train.examples);
+  rng.Shuffle(out.test.examples);
+  return out;
+}
+
+}  // namespace robodet

@@ -1,0 +1,43 @@
+// Labeled examples and train/test splitting. Labels follow the paper's
+// framing: the positive class (+1) is ROBOT, the negative class (-1) is
+// HUMAN; ground truth in our experiments comes from the simulation's known
+// client identities (standing in for CoDeeN's CAPTCHA-derived labels).
+#ifndef ROBODET_SRC_ML_DATASET_H_
+#define ROBODET_SRC_ML_DATASET_H_
+
+#include <vector>
+
+#include "src/ml/features.h"
+#include "src/util/rng.h"
+
+namespace robodet {
+
+inline constexpr int kLabelRobot = 1;
+inline constexpr int kLabelHuman = -1;
+
+struct Example {
+  FeatureVector x{};
+  int label = kLabelRobot;
+};
+
+struct Dataset {
+  std::vector<Example> examples;
+
+  size_t size() const { return examples.size(); }
+  size_t CountLabel(int label) const;
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+// Stratified split: each class is shuffled and divided independently, so
+// the class balance of train and test matches the corpus ("we divided each
+// set into a training set and a test set, using equal numbers of sessions
+// drawn at random" — train_fraction 0.5 matches the paper).
+TrainTestSplit StratifiedSplit(const Dataset& data, double train_fraction, Rng& rng);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_ML_DATASET_H_

@@ -1,0 +1,58 @@
+// Depth-limited binary decision tree with entropy splits — a C4.5-style
+// learner in the lineage of Tan & Kumar's robot-session classifier
+// (related work [6]), used as a baseline against AdaBoost in the Figure-4
+// harness.
+#ifndef ROBODET_SRC_ML_DECISION_TREE_H_
+#define ROBODET_SRC_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ml/dataset.h"
+
+namespace robodet {
+
+class DecisionTree {
+ public:
+  struct Config {
+    int max_depth = 8;
+    // Do not split nodes smaller than this.
+    size_t min_node_size = 8;
+    // Stop when a node is this pure (majority fraction).
+    double purity_stop = 0.995;
+  };
+
+  DecisionTree() : DecisionTree(Config{}) {}
+  explicit DecisionTree(Config config) : config_(config) {}
+
+  void Train(const Dataset& train);
+
+  // Probability-like robot score in [-1, 1]: leaf robot-fraction mapped to
+  // [-1, 1]; positive means robot.
+  double Score(const FeatureVector& x) const;
+  int Predict(const FeatureVector& x) const { return Score(x) >= 0.0 ? kLabelRobot : kLabelHuman; }
+
+  size_t node_count() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    size_t feature = 0;
+    double threshold = 0.0;
+    // Children indices (valid when !is_leaf).
+    int left = -1;   // x[feature] <= threshold
+    int right = -1;  // x[feature] >  threshold
+    double robot_fraction = 0.5;
+  };
+
+  int Build(const Dataset& data, std::vector<size_t>& indices, int depth);
+
+  Config config_;
+  std::vector<Node> nodes_;
+  int depth_ = 0;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_ML_DECISION_TREE_H_

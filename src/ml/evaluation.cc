@@ -1,0 +1,104 @@
+#include "src/ml/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace robodet {
+
+double CrossValidationResult::MeanAccuracy() const {
+  if (fold_accuracy.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double a : fold_accuracy) {
+    sum += a;
+  }
+  return sum / static_cast<double>(fold_accuracy.size());
+}
+
+double CrossValidationResult::StdDevAccuracy() const {
+  if (fold_accuracy.size() < 2) {
+    return 0.0;
+  }
+  const double mean = MeanAccuracy();
+  double sq = 0.0;
+  for (double a : fold_accuracy) {
+    sq += (a - mean) * (a - mean);
+  }
+  return std::sqrt(sq / static_cast<double>(fold_accuracy.size() - 1));
+}
+
+CrossValidationResult KFoldCrossValidate(const Dataset& data, int folds, const TrainFn& train,
+                                         Rng& rng) {
+  CrossValidationResult result;
+  if (folds < 2 || data.size() < static_cast<size_t>(folds)) {
+    return result;
+  }
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  rng.Shuffle(order);
+
+  for (int fold = 0; fold < folds; ++fold) {
+    Dataset train_set;
+    Dataset test_set;
+    for (size_t i = 0; i < order.size(); ++i) {
+      const Example& e = data.examples[order[i]];
+      if (static_cast<int>(i % static_cast<size_t>(folds)) == fold) {
+        test_set.examples.push_back(e);
+      } else {
+        train_set.examples.push_back(e);
+      }
+    }
+    const auto predictor = train(train_set);
+    result.fold_accuracy.push_back(Evaluate(test_set, predictor).Accuracy());
+  }
+  return result;
+}
+
+RocCurve ComputeRoc(const Dataset& data,
+                    const std::function<double(const FeatureVector&)>& score) {
+  RocCurve out;
+  struct Scored {
+    double s;
+    int label;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(data.size());
+  size_t positives = 0;
+  size_t negatives = 0;
+  for (const Example& e : data.examples) {
+    scored.push_back({score(e.x), e.label});
+    (e.label == kLabelRobot ? positives : negatives) += 1;
+  }
+  if (positives == 0 || negatives == 0) {
+    return out;
+  }
+  // Strictest threshold first: descending score.
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    return a.s > b.s;
+  });
+
+  size_t tp = 0;
+  size_t fp = 0;
+  out.points.emplace_back(0.0, 0.0);
+  double prev_fpr = 0.0;
+  double prev_tpr = 0.0;
+  for (size_t i = 0; i < scored.size(); ++i) {
+    (scored[i].label == kLabelRobot ? tp : fp) += 1;
+    // Emit a point only when the threshold actually moves (ties grouped).
+    if (i + 1 < scored.size() && scored[i + 1].s == scored[i].s) {
+      continue;
+    }
+    const double fpr = static_cast<double>(fp) / static_cast<double>(negatives);
+    const double tpr = static_cast<double>(tp) / static_cast<double>(positives);
+    out.points.emplace_back(fpr, tpr);
+    out.auc += (fpr - prev_fpr) * (tpr + prev_tpr) / 2.0;
+    prev_fpr = fpr;
+    prev_tpr = tpr;
+  }
+  return out;
+}
+
+}  // namespace robodet

@@ -1,0 +1,45 @@
+// Model-agnostic evaluation utilities: k-fold cross validation over any
+// train/predict pair, and ROC/AUC over any real-valued scorer. §4.2 notes
+// that "attribute selection must be done carefully" — these are the tools
+// an operator needs to make that call on their own traffic.
+#ifndef ROBODET_SRC_ML_EVALUATION_H_
+#define ROBODET_SRC_ML_EVALUATION_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/ml/dataset.h"
+#include "src/ml/metrics.h"
+#include "src/util/rng.h"
+
+namespace robodet {
+
+// Trains on k-1 folds, evaluates on the held-out fold, k times. `train`
+// receives the training subset and must return a predictor.
+struct CrossValidationResult {
+  std::vector<double> fold_accuracy;
+  double MeanAccuracy() const;
+  double StdDevAccuracy() const;
+};
+
+using TrainFn =
+    std::function<std::function<int(const FeatureVector&)>(const Dataset& train)>;
+
+CrossValidationResult KFoldCrossValidate(const Dataset& data, int folds, const TrainFn& train,
+                                         Rng& rng);
+
+// ROC curve points (false positive rate, true positive rate), positive =
+// robot, sorted by threshold from permissive to strict, plus the area
+// under the curve via the trapezoid rule.
+struct RocCurve {
+  std::vector<std::pair<double, double>> points;
+  double auc = 0.0;
+};
+
+RocCurve ComputeRoc(const Dataset& data,
+                    const std::function<double(const FeatureVector&)>& score);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_ML_EVALUATION_H_

@@ -1,0 +1,46 @@
+#include "src/ml/features.h"
+
+#include <algorithm>
+
+namespace robodet {
+
+std::string_view FeatureName(size_t index) {
+  static constexpr std::string_view kNames[kNumFeatures] = {
+      "HEAD %",           "HTML %",          "IMAGE %",        "CGI %",
+      "REFERRER %",       "UNSEEN REFERRER %", "EMBEDDED OBJ %", "LINK FOLLOWING %",
+      "RESPCODE 2XX %",   "RESPCODE 3XX %",  "RESPCODE 4XX %", "FAVICON %",
+  };
+  return index < kNumFeatures ? kNames[index] : std::string_view("?");
+}
+
+FeatureVector ExtractFeatures(const std::vector<RequestEvent>& events, size_t first_n) {
+  FeatureVector out{};
+  const size_t n = first_n == 0 ? events.size() : std::min(first_n, events.size());
+  if (n == 0) {
+    return out;
+  }
+  size_t counts[kNumFeatures] = {};
+  for (size_t i = 0; i < n; ++i) {
+    const RequestEvent& e = events[i];
+    counts[static_cast<size_t>(FeatureId::kHeadPct)] += e.is_head ? 1 : 0;
+    counts[static_cast<size_t>(FeatureId::kHtmlPct)] +=
+        e.kind == ResourceKind::kHtml ? 1 : 0;
+    counts[static_cast<size_t>(FeatureId::kImagePct)] +=
+        (e.kind == ResourceKind::kImage || e.kind == ResourceKind::kFavicon) ? 1 : 0;
+    counts[static_cast<size_t>(FeatureId::kCgiPct)] += e.kind == ResourceKind::kCgi ? 1 : 0;
+    counts[static_cast<size_t>(FeatureId::kReferrerPct)] += e.has_referrer ? 1 : 0;
+    counts[static_cast<size_t>(FeatureId::kUnseenReferrerPct)] += e.unseen_referrer ? 1 : 0;
+    counts[static_cast<size_t>(FeatureId::kEmbeddedObjPct)] += e.is_embedded ? 1 : 0;
+    counts[static_cast<size_t>(FeatureId::kLinkFollowingPct)] += e.is_link_follow ? 1 : 0;
+    counts[static_cast<size_t>(FeatureId::kResp2xxPct)] += e.status_class == 2 ? 1 : 0;
+    counts[static_cast<size_t>(FeatureId::kResp3xxPct)] += e.status_class == 3 ? 1 : 0;
+    counts[static_cast<size_t>(FeatureId::kResp4xxPct)] += e.status_class == 4 ? 1 : 0;
+    counts[static_cast<size_t>(FeatureId::kFaviconPct)] += e.is_favicon ? 1 : 0;
+  }
+  for (size_t f = 0; f < kNumFeatures; ++f) {
+    out[f] = static_cast<double>(counts[f]) / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace robodet

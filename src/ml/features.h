@@ -1,0 +1,62 @@
+// The 12 session attributes of Table 2, extracted from per-request events.
+// All are fractions of requests ("% of ..."), so sessions of different
+// lengths are comparable, and a classifier "built at N requests" is simply
+// one trained on features computed over each session's first N events.
+//
+// Interpretation notes (the paper's definitions are one-liners; these are
+// the exact semantics used here):
+//   HEAD %            requests using the HEAD method
+//   HTML %            requests classified as HTML by URL shape
+//   IMAGE %           requests for image content
+//   CGI %             requests for dynamic content (query string, /cgi-bin/,
+//                     script extensions)
+//   REFERRER %        requests carrying a Referer header
+//   UNSEEN REFERRER % requests whose Referer names a URL this session never
+//                     visited (referrer-spam signature)
+//   EMBEDDED OBJ %    requests for objects embedded in a previously served
+//                     page (img/css/script src)
+//   LINK FOLLOWING %  requests for URLs that appeared as links in a
+//                     previously served page
+//   RESPCODE 2XX/3XX/4XX %   response status classes
+//   FAVICON %         requests for favicon.ico
+#ifndef ROBODET_SRC_ML_FEATURES_H_
+#define ROBODET_SRC_ML_FEATURES_H_
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "src/core/signals.h"
+
+namespace robodet {
+
+inline constexpr size_t kNumFeatures = 12;
+
+enum class FeatureId : size_t {
+  kHeadPct = 0,
+  kHtmlPct,
+  kImagePct,
+  kCgiPct,
+  kReferrerPct,
+  kUnseenReferrerPct,
+  kEmbeddedObjPct,
+  kLinkFollowingPct,
+  kResp2xxPct,
+  kResp3xxPct,
+  kResp4xxPct,
+  kFaviconPct,
+};
+
+std::string_view FeatureName(size_t index);
+
+using FeatureVector = std::array<double, kNumFeatures>;
+
+// Extracts the 12 attributes from `events`. When first_n > 0 only the
+// first N events contribute ("the classifier at the request number 20 ...
+// is built calculating the attributes of the first 20 requests").
+FeatureVector ExtractFeatures(const std::vector<RequestEvent>& events, size_t first_n = 0);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_ML_FEATURES_H_

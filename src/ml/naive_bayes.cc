@@ -1,0 +1,71 @@
+#include "src/ml/naive_bayes.h"
+
+#include <cmath>
+
+namespace robodet {
+namespace {
+
+// Variance floor: percentage features can be constant within a class.
+constexpr double kMinVariance = 1e-6;
+
+}  // namespace
+
+GaussianNaiveBayes::ClassModel GaussianNaiveBayes::Fit(const Dataset& data, int label) {
+  ClassModel model;
+  size_t n = 0;
+  for (const Example& e : data.examples) {
+    if (e.label != label) {
+      continue;
+    }
+    ++n;
+    for (size_t f = 0; f < kNumFeatures; ++f) {
+      model.mean[f] += e.x[f];
+    }
+  }
+  if (n == 0) {
+    model.log_prior = -1e9;
+    model.variance.fill(1.0);
+    return model;
+  }
+  for (double& m : model.mean) {
+    m /= static_cast<double>(n);
+  }
+  for (const Example& e : data.examples) {
+    if (e.label != label) {
+      continue;
+    }
+    for (size_t f = 0; f < kNumFeatures; ++f) {
+      const double d = e.x[f] - model.mean[f];
+      model.variance[f] += d * d;
+    }
+  }
+  for (double& v : model.variance) {
+    v = std::max(v / static_cast<double>(n), kMinVariance);
+  }
+  model.log_prior = std::log(static_cast<double>(n) / static_cast<double>(data.size()));
+  return model;
+}
+
+double GaussianNaiveBayes::LogLikelihood(const ClassModel& model, const FeatureVector& x) {
+  double ll = model.log_prior;
+  for (size_t f = 0; f < kNumFeatures; ++f) {
+    const double d = x[f] - model.mean[f];
+    ll += -0.5 * (std::log(2.0 * M_PI * model.variance[f]) + d * d / model.variance[f]);
+  }
+  return ll;
+}
+
+void GaussianNaiveBayes::Train(const Dataset& train) {
+  robot_ = Fit(train, kLabelRobot);
+  human_ = Fit(train, kLabelHuman);
+  trained_ = true;
+}
+
+double GaussianNaiveBayes::Score(const FeatureVector& x) const {
+  if (!trained_) {
+    return 0.0;
+  }
+  return LogLikelihood(robot_, x) - LogLikelihood(human_, x);
+}
+
+}  // namespace robodet

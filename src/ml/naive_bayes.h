@@ -1,0 +1,37 @@
+// Gaussian naive Bayes baseline: the simplest learner over the same 12
+// attributes, used by the ablation benches to show what boosting buys.
+#ifndef ROBODET_SRC_ML_NAIVE_BAYES_H_
+#define ROBODET_SRC_ML_NAIVE_BAYES_H_
+
+#include <array>
+
+#include "src/ml/dataset.h"
+
+namespace robodet {
+
+class GaussianNaiveBayes {
+ public:
+  void Train(const Dataset& train);
+
+  // Log-odds of robot vs human; positive means robot.
+  double Score(const FeatureVector& x) const;
+  int Predict(const FeatureVector& x) const { return Score(x) >= 0.0 ? kLabelRobot : kLabelHuman; }
+
+ private:
+  struct ClassModel {
+    std::array<double, kNumFeatures> mean{};
+    std::array<double, kNumFeatures> variance{};
+    double log_prior = 0.0;
+  };
+
+  static ClassModel Fit(const Dataset& data, int label);
+  static double LogLikelihood(const ClassModel& model, const FeatureVector& x);
+
+  ClassModel robot_;
+  ClassModel human_;
+  bool trained_ = false;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_ML_NAIVE_BAYES_H_

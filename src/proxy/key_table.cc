@@ -1,0 +1,73 @@
+#include "src/proxy/key_table.h"
+
+namespace robodet {
+
+void KeyTable::Record(IpAddress ip, const std::string& page_path, const std::string& key,
+                      TimeMs now) {
+  // Global bound: expire lazily before (re)acquiring any bucket reference —
+  // ExpireOld erases empty buckets, so references must not be held across it.
+  if (total_entries_ >= config_.max_total_entries) {
+    ExpireOld(now);
+  }
+  if (total_entries_ >= config_.max_total_entries) {
+    return;  // Still full: refuse to grow. Detection degrades gracefully.
+  }
+  std::deque<Entry>& entries = by_ip_[ip.value()];
+  while (entries.size() >= config_.max_entries_per_ip) {
+    DropOldestFor(entries);
+  }
+  entries.push_back(Entry{page_path, key, now});
+  ++total_entries_;
+  ++issued_;
+}
+
+bool KeyTable::MatchAndConsume(IpAddress ip, const std::string& key, TimeMs now) {
+  auto it = by_ip_.find(ip.value());
+  if (it == by_ip_.end()) {
+    ++mismatched_;
+    return false;
+  }
+  std::deque<Entry>& entries = it->second;
+  for (auto e = entries.begin(); e != entries.end(); ++e) {
+    if (e->key == key) {
+      const bool live = now - e->issued_at <= config_.entry_ttl;
+      entries.erase(e);
+      --total_entries_;
+      if (entries.empty()) {
+        by_ip_.erase(it);
+      }
+      if (live) {
+        ++matched_;
+        return true;
+      }
+      ++mismatched_;
+      return false;
+    }
+  }
+  ++mismatched_;
+  return false;
+}
+
+void KeyTable::ExpireOld(TimeMs now) {
+  for (auto it = by_ip_.begin(); it != by_ip_.end();) {
+    std::deque<Entry>& entries = it->second;
+    while (!entries.empty() && now - entries.front().issued_at > config_.entry_ttl) {
+      entries.pop_front();
+      --total_entries_;
+    }
+    if (entries.empty()) {
+      it = by_ip_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void KeyTable::DropOldestFor(std::deque<Entry>& entries) {
+  if (!entries.empty()) {
+    entries.pop_front();
+    --total_entries_;
+  }
+}
+
+}  // namespace robodet

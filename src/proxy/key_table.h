@@ -1,0 +1,65 @@
+// The paper's beacon key table: per client IP, the set of <page, k> tuples
+// issued with instrumented pages (§2.1 step 1). A beacon image request is
+// a mouse-activity proof iff its k matches a live entry for that IP;
+// matching consumes the entry, which is what defeats replay.
+#ifndef ROBODET_SRC_PROXY_KEY_TABLE_H_
+#define ROBODET_SRC_PROXY_KEY_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "src/http/request.h"
+#include "src/util/clock.h"
+
+namespace robodet {
+
+class KeyTable {
+ public:
+  struct Config {
+    // The table "holds multiple entries per IP address" — bounded here so a
+    // crawler pulling thousands of pages cannot balloon server memory.
+    size_t max_entries_per_ip = 64;
+    size_t max_total_entries = 1 << 20;
+    TimeMs entry_ttl = kHour;
+  };
+
+  explicit KeyTable(Config config) : config_(config) {}
+
+  // Records <page, k> for `ip`. Oldest entries fall off first when the
+  // per-IP bound is hit.
+  void Record(IpAddress ip, const std::string& page_path, const std::string& key, TimeMs now);
+
+  // Checks and consumes a key for `ip`. True iff the key was live (issued,
+  // unexpired, not yet used).
+  bool MatchAndConsume(IpAddress ip, const std::string& key, TimeMs now);
+
+  // Drops all expired entries (called opportunistically).
+  void ExpireOld(TimeMs now);
+
+  size_t total_entries() const { return total_entries_; }
+  uint64_t issued() const { return issued_; }
+  uint64_t matched() const { return matched_; }
+  uint64_t mismatched() const { return mismatched_; }
+
+ private:
+  struct Entry {
+    std::string page_path;
+    std::string key;
+    TimeMs issued_at = 0;
+  };
+
+  void DropOldestFor(std::deque<Entry>& entries);
+
+  Config config_;
+  std::unordered_map<uint32_t, std::deque<Entry>> by_ip_;
+  size_t total_entries_ = 0;
+  uint64_t issued_ = 0;
+  uint64_t matched_ = 0;
+  uint64_t mismatched_ = 0;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_PROXY_KEY_TABLE_H_

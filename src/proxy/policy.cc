@@ -1,0 +1,32 @@
+#include "src/proxy/policy.h"
+
+namespace robodet {
+
+PolicyAction PolicyEngine::Evaluate(SessionState& session, Verdict verdict, TimeMs now) {
+  if (session.blocked()) {
+    ++blocked_requests_;
+    return PolicyAction::kBlock;
+  }
+  if (!config_.enforce || verdict != Verdict::kRobot) {
+    return PolicyAction::kAllow;
+  }
+  const TimeMs lifetime = now - session.first_request_time();
+  if (lifetime < config_.min_observation) {
+    return PolicyAction::kAllow;
+  }
+  const double minutes = static_cast<double>(lifetime) / static_cast<double>(kMinute);
+  const double cgi_rate = static_cast<double>(session.cgi_requests()) / minutes;
+  const double get_rate = static_cast<double>(session.get_requests()) / minutes;
+  const bool tripped = cgi_rate > config_.max_cgi_per_minute ||
+                       get_rate > config_.max_get_per_minute ||
+                       session.error_responses() > config_.max_error_responses;
+  if (tripped) {
+    session.set_blocked(true);
+    ++blocked_sessions_;
+    ++blocked_requests_;
+    return PolicyAction::kBlock;
+  }
+  return PolicyAction::kAllow;
+}
+
+}  // namespace robodet

@@ -1,0 +1,394 @@
+#include "src/proxy/proxy_server.h"
+
+#include <utility>
+
+#include "src/core/combined_classifier.h"
+#include "src/html/document.h"
+#include "src/html/injector.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace robodet {
+namespace {
+
+// Sanitizes an agent string exactly as the UA-echo script does, so the
+// echoed value and the header-derived value are comparable.
+std::string SanitizeAgent(std::string_view agent) {
+  std::string out = AsciiLower(agent);
+  out = ReplaceAll(out, " ", "");
+  out = ReplaceAll(out, "/", "-");
+  return out;
+}
+
+Response TinyJpeg() {
+  Response r = MakeResponse(StatusCode::kOk, ResourceKind::kImage, std::string(64, 'j'));
+  r.headers.Set("Cache-Control", "no-cache, no-store");
+  return r;
+}
+
+Response EmptyCss() {
+  Response r = MakeResponse(StatusCode::kOk, ResourceKind::kCss, "/* */");
+  r.headers.Set("Cache-Control", "no-cache, no-store");
+  return r;
+}
+
+Response Blocked() {
+  return MakeResponse(StatusCode::kForbidden, ResourceKind::kHtml,
+                      "<html><body>Access denied.</body></html>");
+}
+
+}  // namespace
+
+ProxyServer::ProxyServer(ProxyConfig config, SimClock* clock, OriginHandler origin,
+                         uint64_t rng_seed)
+    : config_(std::move(config)),
+      clock_(clock),
+      origin_(std::move(origin)),
+      rng_(rng_seed),
+      minter_(config_.secret, &rng_),
+      sessions_(config_.session),
+      key_table_(config_.keys),
+      policy_(config_.policy),
+      captcha_(&minter_) {}
+
+void ProxyServer::EnableBrowserTest(bool on) {
+  config_.enable_css_probe = on;
+  config_.enable_hidden_link = on;
+}
+
+void ProxyServer::EnableHumanActivity(bool on) {
+  config_.enable_human_activity = on;
+  config_.enable_ua_echo = on;
+}
+
+void ProxyServer::EnablePolicy(bool on) { config_.enable_policy = on; }
+
+Verdict ProxyServer::JudgeSession(const SessionState& session) const {
+  if (robot_judge_) {
+    return robot_judge_(session);
+  }
+  static const CombinedClassifier kDefault{};
+  return kDefault.ClassifyOnline(session.observation()).verdict;
+}
+
+std::string ProxyServer::AbsoluteInstrUrl(const std::string& stem_and_name) const {
+  return "http://" + config_.host + config_.instr_prefix + stem_and_name;
+}
+
+GeneratedBeacon ProxyServer::BuildBeaconForToken(std::string_view token,
+                                                 std::string* out_key) const {
+  // Everything about the script is a pure function of the token, so
+  // serving the script later needs no storage: same seed, same draws.
+  Rng script_rng(minter_.SeedFor(token));
+  BeaconSpec spec;
+  spec.host = config_.host;
+  spec.path_prefix = config_.instr_prefix;
+  spec.real_key = script_rng.HexKey128();
+  spec.decoy_keys.reserve(config_.num_decoys);
+  for (size_t i = 0; i < config_.num_decoys; ++i) {
+    spec.decoy_keys.push_back(script_rng.HexKey128());
+  }
+  spec.obfuscation_level = config_.obfuscation_level;
+  spec.pad_to_bytes = config_.pad_script_to;
+  if (out_key != nullptr) {
+    *out_key = spec.real_key;
+  }
+  return GenerateBeaconScript(spec, script_rng);
+}
+
+RequestEvent ProxyServer::BuildEvent(const Request& request, const SessionState& session) const {
+  RequestEvent ev;
+  ev.kind = request.Kind();
+  ev.is_head = request.method == Method::kHead;
+  ev.is_favicon = ev.kind == ResourceKind::kFavicon;
+  ev.has_referrer = request.HasReferrer();
+  if (ev.has_referrer) {
+    ev.unseen_referrer = !session.visited_urls().Contains(request.Referrer());
+  }
+  const std::string url = request.url.ToString();
+  ev.is_embedded = session.served_embeds().Contains(url);
+  ev.is_link_follow = session.served_links().Contains(url);
+  return ev;
+}
+
+ProxyServer::Result ProxyServer::Handle(const Request& request) {
+  ++stats_.requests;
+  const TimeMs now = request.time;
+  SessionState* session = sessions_.Touch(SessionKey{request.client_ip,
+                                                     std::string(request.UserAgent())},
+                                          now);
+
+  // Policy gate first: a blocked session stays blocked.
+  if (config_.enable_policy) {
+    const PolicyAction action = policy_.Evaluate(*session, JudgeSession(*session), now);
+    if (action == PolicyAction::kBlock) {
+      ++stats_.blocked_requests;
+      RequestEvent ev = BuildEvent(request, *session);
+      ev.status_class = 4;
+      session->RecordRequest(now, ev);
+      Result result;
+      result.response = Blocked();
+      result.blocked = true;
+      result.session_id = session->id();
+      return result;
+    }
+  }
+
+  RequestEvent ev = BuildEvent(request, *session);
+  const int index = session->request_count() + 1;  // This request's 1-based index.
+
+  if (ev.kind == ResourceKind::kRobotsTxt) {
+    SessionState::MarkSignal(session->signals().robots_txt_at, index);
+  }
+
+  // Instrumented namespace?
+  if (request.url.path().compare(0, config_.instr_prefix.size(), config_.instr_prefix) == 0) {
+    Result result = HandleInstrumented(request, *session, index);
+    ev.status_class = static_cast<uint8_t>(StatusValue(result.response.status) / 100);
+    session->RecordRequest(now, ev);
+    session->visited_urls().Insert(request.url.ToString());
+    result.session_id = session->id();
+    stats_.instrumentation_bytes += result.response.WireSize();
+    return result;
+  }
+
+  // Forward to origin.
+  Response response = origin_(request);
+  stats_.origin_bytes += response.WireSize();
+
+  // Instrument HTML success responses.
+  if (response.IsHtml() && response.status == StatusCode::kOk &&
+      request.method == Method::kGet &&
+      (config_.enable_human_activity || config_.enable_css_probe ||
+       config_.enable_hidden_link)) {
+    response = InstrumentPage(request, *session, std::move(response));
+  } else if (response.IsHtml()) {
+    // Track links/embeds of uninstrumented HTML too (HEAD bodies excluded).
+    if (!response.body.empty()) {
+      RegisterServedContent(request, *session, response.body);
+    }
+  }
+
+  ev.status_class = static_cast<uint8_t>(StatusValue(response.status) / 100);
+  session->RecordRequest(now, ev);
+  session->visited_urls().Insert(request.url.ToString());
+
+  Result result;
+  result.response = std::move(response);
+  result.session_id = session->id();
+  return result;
+}
+
+ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
+                                                    SessionState& session, int request_index) {
+  Result result;
+  const std::string& path = request.url.path();
+  const std::string& prefix = config_.instr_prefix;
+  SessionSignals& sig = session.signals();
+
+  // Beacon script file: js_<token>.js
+  if (std::string name = ExtractStemName(path, prefix, "js_", ".js"); !name.empty()) {
+    if (minter_.Validate(name)) {
+      SessionState::MarkSignal(sig.js_download_at, request_index);
+      ++stats_.probe_hits_js_file;
+      GeneratedBeacon beacon = BuildBeaconForToken(name, nullptr);
+      result.response = MakeResponse(StatusCode::kOk, ResourceKind::kJavaScript,
+                                     std::move(beacon.script_source));
+      result.response.headers.Set("Cache-Control", "no-cache, no-store");
+      return result;
+    }
+    result.response = MakeResponse(StatusCode::kNotFound, ResourceKind::kHtml, "");
+    return result;
+  }
+
+  // CSS probe: cp_<token>.css
+  if (std::string name = ExtractStemName(path, prefix, "cp_", ".css"); !name.empty()) {
+    if (minter_.Validate(name)) {
+      SessionState::MarkSignal(sig.css_probe_at, request_index);
+      ++stats_.probe_hits_css;
+      result.response = EmptyCss();
+      return result;
+    }
+    result.response = MakeResponse(StatusCode::kNotFound, ResourceKind::kHtml, "");
+    return result;
+  }
+
+  // Silent audio probe: ap_<token>.wav
+  if (std::string name = ExtractStemName(path, prefix, "ap_", ".wav"); !name.empty()) {
+    if (minter_.Validate(name)) {
+      SessionState::MarkSignal(sig.audio_probe_at, request_index);
+      result.response = MakeResponse(StatusCode::kOk, ResourceKind::kAudio,
+                                     std::string(128, '\0'));
+      result.response.headers.Set("Cache-Control", "no-cache, no-store");
+      return result;
+    }
+    result.response = MakeResponse(StatusCode::kNotFound, ResourceKind::kHtml, "");
+    return result;
+  }
+
+  // Beacon image: bk_<key>.jpg
+  if (std::string key = ExtractBeaconKey(path, prefix); !key.empty()) {
+    if (keys().MatchAndConsume(request.client_ip, key, request.time)) {
+      // §4.1 extension: an attested event proves a physical input device;
+      // when attestation is required, a bare key match proves only that
+      // the script ran (synthetic-event suspicion).
+      bool attested = false;
+      if (attestation_ != nullptr) {
+        if (const auto header = request.headers.Get(AttestationAuthority::kHeaderName);
+            header.has_value()) {
+          if (const auto parsed = AttestationAuthority::ParseHeader(*header);
+              parsed.has_value()) {
+            attested = attestation_->Verify(parsed->device_id, key, parsed->mac);
+          }
+        }
+      }
+      if (attested) {
+        SessionState::MarkSignal(sig.attested_mouse_at, request_index);
+      }
+      if (config_.require_attestation && !attested) {
+        SessionState::MarkSignal(sig.unattested_event_at, request_index);
+      } else {
+        SessionState::MarkSignal(sig.mouse_event_at, request_index);
+      }
+      ++stats_.beacon_hits_ok;
+    } else {
+      SessionState::MarkSignal(sig.wrong_key_at, request_index);
+      ++stats_.beacon_hits_wrong;
+    }
+    // "The server can respond with any JPEG image because the picture is
+    // not used."
+    result.response = TinyJpeg();
+    return result;
+  }
+
+  // UA echo: ua_<token>_<agent>.css
+  if (std::string token = ExtractUaEchoToken(path, prefix); !token.empty()) {
+    if (minter_.Validate(token)) {
+      SessionState::MarkSignal(sig.js_executed_at, request_index);
+      ++stats_.ua_echo_hits;
+      sig.ua_echo_agent = ExtractUaEchoAgent(path, prefix);
+      const std::string header_agent = SanitizeAgent(request.UserAgent());
+      if (!sig.ua_echo_agent.empty() && sig.ua_echo_agent != header_agent) {
+        SessionState::MarkSignal(sig.ua_mismatch_at, request_index);
+      }
+    }
+    result.response = EmptyCss();
+    return result;
+  }
+
+  // Hidden link target: hl_<token>.html
+  if (std::string name = ExtractStemName(path, prefix, "hl_", ".html"); !name.empty()) {
+    if (minter_.Validate(name)) {
+      SessionState::MarkSignal(sig.hidden_link_at, request_index);
+      ++stats_.hidden_link_hits;
+    }
+    result.response = MakeResponse(StatusCode::kOk, ResourceKind::kHtml,
+                                   "<html><body></body></html>");
+    return result;
+  }
+
+  // Transparent 1x1.
+  if (path == prefix + "ti.jpg") {
+    result.response = TinyJpeg();
+    return result;
+  }
+
+  // CAPTCHA endpoints.
+  if (config_.enable_captcha) {
+    if (path == prefix + "captcha.html") {
+      const std::string token = captcha_.IssueChallenge();
+      result.response = MakeHtmlResponse(
+          captcha_.RenderChallenge(token, "http://" + config_.host + prefix));
+      result.response.headers.Set("Cache-Control", "no-cache, no-store");
+      return result;
+    }
+    if (std::string token = ExtractStemName(path, prefix, "captcha_img_", ".jpg");
+        !token.empty()) {
+      result.response = TinyJpeg();
+      return result;
+    }
+    if (std::string token = ExtractStemName(path, prefix, "captcha_", ".cgi"); !token.empty()) {
+      std::string answer;
+      constexpr std::string_view kAns = "ans=";
+      const std::string& query = request.url.query();
+      if (const size_t at = query.find(kAns); at != std::string::npos) {
+        answer = query.substr(at + kAns.size());
+      }
+      if (captcha_.CheckAnswer(token, answer)) {
+        SessionState::MarkSignal(sig.captcha_passed_at, request_index);
+        ++stats_.captcha_passes;
+        result.response = MakeHtmlResponse("<html><body>Verified.</body></html>");
+      } else {
+        SessionState::MarkSignal(sig.captcha_failed_at, request_index);
+        ++stats_.captcha_failures;
+        result.response = MakeResponse(StatusCode::kForbidden, ResourceKind::kHtml,
+                                       "<html><body>Wrong answer.</body></html>");
+      }
+      return result;
+    }
+  }
+
+  result.response = MakeResponse(StatusCode::kNotFound, ResourceKind::kHtml,
+                                 "<html><body>Not found.</body></html>");
+  return result;
+}
+
+Response ProxyServer::InstrumentPage(const Request& request, SessionState& session,
+                                     Response response) {
+  InjectionPlan plan;
+
+  std::string real_key;
+  if (config_.enable_human_activity) {
+    const std::string script_token = minter_.Mint();
+    // We need the key before serving; derive the beacon once here (cheap)
+    // and re-derive on script fetch.
+    GeneratedBeacon beacon = BuildBeaconForToken(script_token, &real_key);
+    keys().Record(request.client_ip, request.url.path(), real_key, request.time);
+    plan.beacon_script_url = AbsoluteInstrUrl("js_" + script_token + ".js");
+    plan.mouse_handler_code = beacon.handler_code;
+    plan.hook_links = config_.hook_links;
+  }
+  if (config_.enable_ua_echo) {
+    const std::string ua_token = minter_.Mint();
+    plan.ua_echo_script =
+        GenerateUaEchoScript(config_.host, config_.instr_prefix, ua_token);
+  }
+  if (config_.enable_css_probe) {
+    plan.css_probe_url = AbsoluteInstrUrl("cp_" + minter_.Mint() + ".css");
+  }
+  if (config_.enable_audio_probe) {
+    plan.audio_probe_url = AbsoluteInstrUrl("ap_" + minter_.Mint() + ".wav");
+  }
+  if (config_.enable_hidden_link) {
+    plan.hidden_link_url = AbsoluteInstrUrl("hl_" + minter_.Mint() + ".html");
+    plan.transparent_image_url = AbsoluteInstrUrl("ti.jpg");
+  }
+
+  InjectionResult injected = InstrumentHtml(response.body, plan);
+  response.body = std::move(injected.html);
+  response.headers.Set("Content-Length", std::to_string(response.body.size()));
+  // "To prevent caching the JavaScript file at the client browser, the
+  // server marks it uncacheable" — the page itself must be uncacheable too,
+  // since each serving carries fresh keys.
+  response.headers.Set("Cache-Control", "no-cache, no-store");
+
+  stats_.instrumentation_bytes += injected.added_bytes;
+  ++stats_.pages_instrumented;
+  session.NoteInstrumentedPage();
+
+  RegisterServedContent(request, session, response.body);
+  return response;
+}
+
+void ProxyServer::RegisterServedContent(const Request& request, SessionState& session,
+                                        const std::string& html) {
+  HtmlDocument doc(html);
+  for (const LinkRef& link : doc.Links()) {
+    session.served_links().Insert(request.url.Resolve(link.href).ToString());
+  }
+  for (const EmbedRef& embed : doc.EmbeddedObjects()) {
+    session.served_embeds().Insert(request.url.Resolve(embed.url).ToString());
+  }
+}
+
+}  // namespace robodet

@@ -1,0 +1,167 @@
+// The instrumenting proxy: robodet's equivalent of a CoDeeN node. It sits
+// between clients and an origin handler, rewrites HTML responses with the
+// detection probes of §2 (beacon script + mouse handler, UA-echo script,
+// CSS probe, hidden-link trap), intercepts the probe fetches, maintains
+// per-session signal state, and optionally enforces the §3.2 rate-limiting
+// policy on robot-classified sessions.
+#ifndef ROBODET_SRC_PROXY_PROXY_SERVER_H_
+#define ROBODET_SRC_PROXY_PROXY_SERVER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/core/attestation.h"
+#include "src/core/verdict.h"
+#include "src/http/request.h"
+#include "src/js/generator.h"
+#include "src/proxy/captcha.h"
+#include "src/proxy/key_table.h"
+#include "src/proxy/policy.h"
+#include "src/proxy/session_table.h"
+#include "src/proxy/token_minter.h"
+#include "src/util/clock.h"
+#include "src/util/rng.h"
+
+namespace robodet {
+
+struct ProxyConfig {
+  // Host under which instrumented URLs are minted (the site's own host so
+  // probes look first-party).
+  std::string host = "www.example.com";
+  // URL namespace for everything we inject.
+  std::string instr_prefix = "/__rd/";
+
+  // §2.1 human activity detection.
+  bool enable_human_activity = true;
+  bool enable_ua_echo = true;
+  // m: number of decoy fetchers per beacon script. Blind object fetchers
+  // are caught with probability m/(m+1) per beacon request.
+  size_t num_decoys = 4;
+  int obfuscation_level = 2;
+  size_t pad_script_to = 1024;
+  bool hook_links = false;
+
+  // §2.2 browser testing.
+  bool enable_css_probe = true;
+  bool enable_hidden_link = true;
+  // The silent-audio probe variant; off by default (the CoDeeN deployment
+  // used the CSS probe).
+  bool enable_audio_probe = false;
+
+  // CAPTCHA endpoint (ground-truth labels).
+  bool enable_captcha = false;
+
+  // §4.1 extension: require hardware input attestation on beacon events.
+  // Needs an AttestationAuthority wired via set_attestation_authority.
+  bool require_attestation = false;
+
+  // §3.2 policy.
+  bool enable_policy = false;
+  PolicyConfig policy;
+
+  SessionTable::Config session;
+  KeyTable::Config keys;
+
+  uint64_t secret = 0x726f626f64657431ULL;
+};
+
+struct ProxyStats {
+  uint64_t requests = 0;
+  uint64_t blocked_requests = 0;
+  uint64_t pages_instrumented = 0;
+  uint64_t probe_hits_css = 0;
+  uint64_t probe_hits_js_file = 0;
+  uint64_t beacon_hits_ok = 0;
+  uint64_t beacon_hits_wrong = 0;
+  uint64_t ua_echo_hits = 0;
+  uint64_t hidden_link_hits = 0;
+  uint64_t captcha_passes = 0;
+  uint64_t captcha_failures = 0;
+  // Bandwidth accounting for the §3.2 overhead figure.
+  uint64_t origin_bytes = 0;        // What the origin would have sent anyway.
+  uint64_t instrumentation_bytes = 0;  // HTML growth + probe-object bytes.
+
+  double OverheadFraction() const {
+    const uint64_t total = origin_bytes + instrumentation_bytes;
+    return total == 0 ? 0.0 : static_cast<double>(instrumentation_bytes) /
+                                  static_cast<double>(total);
+  }
+};
+
+class ProxyServer {
+ public:
+  using OriginHandler = std::function<Response(const Request&)>;
+  // Judges the session for policy enforcement; defaults to the combined
+  // classifier's online rule when unset.
+  using RobotJudge = std::function<Verdict(const SessionState&)>;
+
+  struct Result {
+    Response response;
+    bool blocked = false;
+    uint64_t session_id = 0;
+  };
+
+  ProxyServer(ProxyConfig config, SimClock* clock, OriginHandler origin,
+              uint64_t rng_seed = 42);
+
+  // Runtime toggles: Figure 3's deployment timeline flips these per month.
+  void EnableBrowserTest(bool on);
+  void EnableHumanActivity(bool on);
+  void EnablePolicy(bool on);
+  void EnableCaptcha(bool on) { config_.enable_captcha = on; }
+  void RequireAttestation(bool on) { config_.require_attestation = on; }
+  void EnableAudioProbe(bool on) { config_.enable_audio_probe = on; }
+  void HookLinks(bool on) { config_.hook_links = on; }
+
+  Result Handle(const Request& request);
+
+  // Re-derives the beacon that was served under `token` (also used by
+  // tests to check determinism). `out_key` receives the real key k.
+  GeneratedBeacon BuildBeaconForToken(std::string_view token, std::string* out_key) const;
+
+  SessionTable& sessions() { return sessions_; }
+  KeyTable& keys() { return shared_keys_ != nullptr ? *shared_keys_ : key_table_; }
+
+  // Multi-node deployments can share one beacon key table so that a key
+  // issued by any node validates on any other (see sim/cluster.h and the
+  // ablation_cluster bench for why). The table must outlive this server.
+  void UseSharedKeyTable(KeyTable* table) { shared_keys_ = table; }
+  const ProxyStats& stats() const { return stats_; }
+  const ProxyConfig& config() const { return config_; }
+  CaptchaService& captcha() { return captcha_; }
+
+  void set_robot_judge(RobotJudge judge) { robot_judge_ = std::move(judge); }
+
+  // Wires the trusted-input authority used to verify event attestations.
+  void set_attestation_authority(const AttestationAuthority* authority) {
+    attestation_ = authority;
+  }
+
+ private:
+  Result HandleInstrumented(const Request& request, SessionState& session, int request_index);
+  Response InstrumentPage(const Request& request, SessionState& session, Response response);
+  void RegisterServedContent(const Request& request, SessionState& session,
+                             const std::string& html);
+  RequestEvent BuildEvent(const Request& request, const SessionState& session) const;
+  std::string AbsoluteInstrUrl(const std::string& stem_and_name) const;
+  Verdict JudgeSession(const SessionState& session) const;
+
+  ProxyConfig config_;
+  SimClock* clock_;  // Not owned.
+  OriginHandler origin_;
+  Rng rng_;
+  TokenMinter minter_;
+  SessionTable sessions_;
+  KeyTable key_table_;
+  KeyTable* shared_keys_ = nullptr;  // Not owned; overrides key_table_.
+  PolicyEngine policy_;
+  CaptchaService captcha_;
+  RobotJudge robot_judge_;
+  const AttestationAuthority* attestation_ = nullptr;  // Not owned.
+  ProxyStats stats_;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_PROXY_PROXY_SERVER_H_

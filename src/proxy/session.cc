@@ -1,0 +1,25 @@
+#include "src/proxy/session.h"
+
+namespace robodet {
+
+int SessionState::RecordRequest(TimeMs now, const RequestEvent& event) {
+  ++observation_.request_count;
+  if (now > last_request_) {
+    last_request_ = now;
+  }
+  if (events_.size() < kMaxTrackedEvents) {
+    events_.push_back(event);
+  }
+  if (event.kind == ResourceKind::kCgi) {
+    ++cgi_requests_;
+  }
+  if (!event.is_head) {
+    ++get_requests_;
+  }
+  if (event.status_class >= 4) {
+    ++error_responses_;
+  }
+  return observation_.request_count;
+}
+
+}  // namespace robodet

@@ -1,0 +1,135 @@
+// Per-session state. A session is a stream of requests from one
+// <IP, User-Agent> pair with no idle gap longer than the configured
+// timeout (one hour in the paper).
+#ifndef ROBODET_SRC_PROXY_SESSION_H_
+#define ROBODET_SRC_PROXY_SESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/signals.h"
+#include "src/http/request.h"
+#include "src/util/hash.h"
+
+namespace robodet {
+
+struct SessionKey {
+  IpAddress ip;
+  std::string user_agent;
+
+  friend bool operator==(const SessionKey& a, const SessionKey& b) {
+    return a.ip == b.ip && a.user_agent == b.user_agent;
+  }
+};
+
+struct SessionKeyHash {
+  size_t operator()(const SessionKey& k) const {
+    return static_cast<size_t>(HashCombine(k.ip.value(), Fnv1a(k.user_agent)));
+  }
+};
+
+// Bounded set of URL hashes. Sessions can be arbitrarily long (crawlers),
+// so the attribution sets must not grow without bound; once full, new
+// entries are dropped, which can only under-report "seen" — a conservative
+// failure direction for the unseen-referrer robot signature.
+class UrlHashSet {
+ public:
+  explicit UrlHashSet(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Insert(std::string_view url) {
+    if (hashes_.size() < capacity_) {
+      hashes_.insert(Fnv1a(url));
+    }
+  }
+
+  bool Contains(std::string_view url) const { return hashes_.contains(Fnv1a(url)); }
+  size_t size() const { return hashes_.size(); }
+
+ private:
+  size_t capacity_;
+  std::unordered_set<uint64_t> hashes_;
+};
+
+class SessionState {
+ public:
+  SessionState(uint64_t id, SessionKey key, TimeMs start)
+      : id_(id), key_(std::move(key)), first_request_(start), last_request_(start) {}
+
+  uint64_t id() const { return id_; }
+  const SessionKey& key() const { return key_; }
+  TimeMs first_request_time() const { return first_request_; }
+  TimeMs last_request_time() const { return last_request_; }
+  int request_count() const { return observation_.request_count; }
+
+  // The detector-visible view; detectors and archived records share it.
+  const SessionObservation& observation() const { return observation_; }
+
+  SessionSignals& signals() { return observation_.signals; }
+  const SessionSignals& signals() const { return observation_.signals; }
+
+  const std::vector<RequestEvent>& events() const { return events_; }
+
+  // URL attribution sets.
+  UrlHashSet& served_links() { return served_links_; }
+  UrlHashSet& served_embeds() { return served_embeds_; }
+  UrlHashSet& visited_urls() { return visited_urls_; }
+  const UrlHashSet& served_links() const { return served_links_; }
+  const UrlHashSet& served_embeds() const { return served_embeds_; }
+  const UrlHashSet& visited_urls() const { return visited_urls_; }
+
+  // Registers one request; returns its 1-based index within the session.
+  // Events beyond `max_tracked_events` update counters/attribution but are
+  // not stored individually.
+  int RecordRequest(TimeMs now, const RequestEvent& event);
+
+  // Marks a signal's first firing at the given request index (no-op if the
+  // signal already fired earlier).
+  static void MarkSignal(int& slot, int request_index) {
+    if (slot == 0) {
+      slot = request_index;
+    }
+  }
+
+  // Policy bookkeeping (set by the rate limiter).
+  bool blocked() const { return blocked_; }
+  void set_blocked(bool b) { blocked_ = b; }
+
+  // Sliding-rate counters used by the policy engine.
+  int cgi_requests() const { return cgi_requests_; }
+  int get_requests() const { return get_requests_; }
+  int error_responses() const { return error_responses_; }
+
+  // How many instrumented HTML pages this session has been served; the
+  // browser test needs it to judge "was offered N probes, fetched none".
+  int instrumented_pages() const { return observation_.instrumented_pages; }
+  void NoteInstrumentedPage() {
+    ++observation_.instrumented_pages;
+    if (observation_.instrumented_page_indices.size() < 64) {
+      // The page being instrumented is the request currently in flight.
+      observation_.instrumented_page_indices.push_back(observation_.request_count + 1);
+    }
+  }
+
+  static constexpr size_t kMaxTrackedEvents = 256;
+
+ private:
+  uint64_t id_;
+  SessionKey key_;
+  TimeMs first_request_;
+  TimeMs last_request_;
+  SessionObservation observation_;
+  std::vector<RequestEvent> events_;
+  UrlHashSet served_links_;
+  UrlHashSet served_embeds_;
+  UrlHashSet visited_urls_;
+  bool blocked_ = false;
+  int cgi_requests_ = 0;
+  int get_requests_ = 0;
+  int error_responses_ = 0;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_PROXY_SESSION_H_

@@ -1,0 +1,73 @@
+#include "src/proxy/session_table.h"
+
+#include <vector>
+
+namespace robodet {
+
+SessionState* SessionTable::Touch(const SessionKey& key, TimeMs now) {
+  auto it = sessions_.find(key);
+  if (it != sessions_.end()) {
+    SessionState* session = it->second.get();
+    if (now - session->last_request_time() <= config_.idle_timeout) {
+      return session;
+    }
+    // Idle too long: close the old session and fall through to create a
+    // fresh one for the same key.
+    Close(it);
+  }
+  if (sessions_.size() >= config_.max_active_sessions) {
+    EvictStalest();
+  }
+  auto fresh = std::make_unique<SessionState>(next_id_++, key, now);
+  SessionState* raw = fresh.get();
+  sessions_.emplace(key, std::move(fresh));
+  return raw;
+}
+
+void SessionTable::Close(
+    std::unordered_map<SessionKey, std::unique_ptr<SessionState>, SessionKeyHash>::iterator it) {
+  std::unique_ptr<SessionState> closed = std::move(it->second);
+  sessions_.erase(it);
+  if (on_closed_) {
+    on_closed_(std::move(closed));
+  }
+}
+
+void SessionTable::CloseIdle(TimeMs now) {
+  std::vector<SessionKey> stale;
+  for (const auto& [key, session] : sessions_) {
+    if (now - session->last_request_time() > config_.idle_timeout) {
+      stale.push_back(key);
+    }
+  }
+  for (const SessionKey& key : stale) {
+    Close(sessions_.find(key));
+  }
+}
+
+void SessionTable::CloseAll() {
+  // Drain via a temporary list: the callback must not observe a mutating map.
+  std::vector<SessionKey> keys;
+  keys.reserve(sessions_.size());
+  for (const auto& [key, session] : sessions_) {
+    keys.push_back(key);
+  }
+  for (const SessionKey& key : keys) {
+    Close(sessions_.find(key));
+  }
+}
+
+void SessionTable::EvictStalest() {
+  if (sessions_.empty()) {
+    return;
+  }
+  auto stalest = sessions_.begin();
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->second->last_request_time() < stalest->second->last_request_time()) {
+      stalest = it;
+    }
+  }
+  Close(stalest);
+}
+
+}  // namespace robodet

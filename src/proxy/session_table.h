@@ -1,0 +1,60 @@
+// Session table keyed by <IP, User-Agent> with idle-timeout splitting: a
+// gap longer than the timeout (one hour in the paper) closes the session
+// and starts a new one for the same key. Closed sessions are handed to a
+// callback rather than stored, so memory stays proportional to *active*
+// sessions regardless of experiment length.
+#ifndef ROBODET_SRC_PROXY_SESSION_TABLE_H_
+#define ROBODET_SRC_PROXY_SESSION_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/proxy/session.h"
+
+namespace robodet {
+
+class SessionTable {
+ public:
+  struct Config {
+    TimeMs idle_timeout = kHour;
+    // Hard cap on concurrently active sessions; beyond it, the stalest
+    // session is force-closed (DoS guard — §4.2 notes memory pressure as a
+    // real concern for per-session state).
+    size_t max_active_sessions = 1 << 20;
+  };
+
+  using ClosedCallback = std::function<void(std::unique_ptr<SessionState>)>;
+
+  explicit SessionTable(Config config) : config_(config) {}
+
+  void set_on_closed(ClosedCallback cb) { on_closed_ = std::move(cb); }
+
+  // Finds the active session for `key`, splitting on idle timeout, or
+  // creates one. Never returns null; the pointer stays valid until the
+  // session is closed.
+  SessionState* Touch(const SessionKey& key, TimeMs now);
+
+  // Closes every session idle at `now` (call periodically or at shutdown).
+  void CloseIdle(TimeMs now);
+
+  // Closes everything unconditionally.
+  void CloseAll();
+
+  size_t active_count() const { return sessions_.size(); }
+  uint64_t total_created() const { return next_id_ - 1; }
+
+ private:
+  void Close(std::unordered_map<SessionKey, std::unique_ptr<SessionState>,
+                                SessionKeyHash>::iterator it);
+  void EvictStalest();
+
+  Config config_;
+  ClosedCallback on_closed_;
+  std::unordered_map<SessionKey, std::unique_ptr<SessionState>, SessionKeyHash> sessions_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_PROXY_SESSION_TABLE_H_

@@ -1,0 +1,58 @@
+#include "src/proxy/token_minter.h"
+
+#include <cstdio>
+
+#include "src/util/hash.h"
+
+namespace robodet {
+namespace {
+
+constexpr size_t kRandomHexChars = 16;
+constexpr size_t kMacHexChars = 8;
+constexpr size_t kTokenChars = kRandomHexChars + kMacHexChars;
+
+bool IsLowerHex(char c) { return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'); }
+
+std::string ToHex(uint64_t v, size_t chars) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(chars, '0');
+  for (size_t i = chars; i > 0; --i) {
+    out[i - 1] = kHex[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TokenMinter::Mint() {
+  const std::string random_part = ToHex(rng_->NextU64(), kRandomHexChars);
+  return random_part + ToHex(Mac(random_part), kMacHexChars);
+}
+
+bool TokenMinter::Validate(std::string_view token) const {
+  if (token.size() != kTokenChars) {
+    return false;
+  }
+  for (char c : token) {
+    if (!IsLowerHex(c)) {
+      return false;
+    }
+  }
+  const std::string_view random_part = token.substr(0, kRandomHexChars);
+  const std::string_view mac_part = token.substr(kRandomHexChars);
+  return ToHex(Mac(random_part), kMacHexChars) == mac_part;
+}
+
+uint64_t TokenMinter::SeedFor(std::string_view token) const {
+  return HashCombine(secret_, Fnv1a(token));
+}
+
+uint64_t TokenMinter::Mac(std::string_view random_part) const {
+  // FNV over the random half, keyed by folding the secret in twice. Not
+  // cryptographic — the simulation needs unforgeability only against our
+  // own robot models, which do not attempt MAC forgery.
+  return HashCombine(Fnv1a(random_part, secret_ ^ kFnvOffset), secret_);
+}
+
+}  // namespace robodet

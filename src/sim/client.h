@@ -1,0 +1,44 @@
+// Abstract simulated client. The simulator drives each client through
+// discrete steps; a step typically issues one HTTP request (so that
+// interleavings across clients are realistic) and returns the delay until
+// the client's next step.
+#ifndef ROBODET_SRC_SIM_CLIENT_H_
+#define ROBODET_SRC_SIM_CLIENT_H_
+
+#include <optional>
+
+#include "src/sim/gateway.h"
+#include "src/util/clock.h"
+#include "src/util/rng.h"
+
+namespace robodet {
+
+class Client {
+ public:
+  explicit Client(ClientIdentity identity, Rng rng)
+      : identity_(std::move(identity)), rng_(std::move(rng)) {}
+  virtual ~Client() = default;
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  const ClientIdentity& identity() const { return identity_; }
+  const FetchStats& stats() const { return stats_; }
+
+  // Performs the next action. Returns the delay until the next step, or
+  // nullopt when this client is finished.
+  virtual std::optional<TimeMs> Step(TimeMs now, Gateway& gateway) = 0;
+
+ protected:
+  Rng& rng() { return rng_; }
+  FetchStats* stats_ptr() { return &stats_; }
+
+ private:
+  ClientIdentity identity_;
+  Rng rng_;
+  FetchStats stats_;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_SIM_CLIENT_H_

@@ -1,0 +1,92 @@
+#include "src/sim/cluster.h"
+
+#include "src/util/hash.h"
+
+namespace robodet {
+
+ProxyCluster::ProxyCluster(Config config, const ProxyConfig& proxy_config, SimClock* clock,
+                           ProxyServer::OriginHandler origin, uint64_t seed)
+    : config_(config), rng_(seed) {
+  const size_t n = config_.nodes == 0 ? 1 : config_.nodes;
+  if (config_.share_key_table) {
+    shared_keys_ = std::make_unique<KeyTable>(proxy_config.keys);
+  }
+  nodes_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Every node gets its own PRNG stream and therefore its own token
+    // secrets would differ — but probe validation must work on whichever
+    // node receives the fetch, and CoDeeN nodes shared the deployment
+    // configuration. Keep the shared secret from proxy_config; the
+    // *tables* (keys, sessions) are what stay per-node.
+    nodes_.push_back(std::make_unique<ProxyServer>(proxy_config, clock, origin,
+                                                   seed ^ (0x9e3779b9ULL * (i + 1))));
+    if (shared_keys_ != nullptr) {
+      nodes_.back()->UseSharedKeyTable(shared_keys_.get());
+    }
+  }
+}
+
+ProxyServer* ProxyCluster::Route(const ClientIdentity& id) {
+  if (nodes_.size() == 1) {
+    return nodes_[0].get();
+  }
+  if (config_.switch_prob > 0.0 && rng_.Bernoulli(config_.switch_prob)) {
+    return nodes_[rng_.UniformU64(nodes_.size())].get();
+  }
+  const size_t home = HashCombine(id.ip.value(), 0x5157) % nodes_.size();
+  return nodes_[home].get();
+}
+
+ProxyStats ProxyCluster::AggregateStats() const {
+  ProxyStats total;
+  for (const auto& node : nodes_) {
+    const ProxyStats& s = node->stats();
+    total.requests += s.requests;
+    total.blocked_requests += s.blocked_requests;
+    total.pages_instrumented += s.pages_instrumented;
+    total.probe_hits_css += s.probe_hits_css;
+    total.probe_hits_js_file += s.probe_hits_js_file;
+    total.beacon_hits_ok += s.beacon_hits_ok;
+    total.beacon_hits_wrong += s.beacon_hits_wrong;
+    total.ua_echo_hits += s.ua_echo_hits;
+    total.hidden_link_hits += s.hidden_link_hits;
+    total.captcha_passes += s.captcha_passes;
+    total.captcha_failures += s.captcha_failures;
+    total.origin_bytes += s.origin_bytes;
+    total.instrumentation_bytes += s.instrumentation_bytes;
+  }
+  return total;
+}
+
+SessionSignals ProxyCluster::CombinedSignalsFor(IpAddress ip, const std::string& user_agent,
+                                                TimeMs now) {
+  SessionSignals combined;
+  auto merge_index = [](int& into, int value) {
+    if (value > 0 && (into == 0 || value < into)) {
+      into = value;
+    }
+  };
+  for (const auto& node : nodes_) {
+    const SessionSignals& s =
+        node->sessions().Touch(SessionKey{ip, user_agent}, now)->signals();
+    merge_index(combined.css_probe_at, s.css_probe_at);
+    merge_index(combined.js_download_at, s.js_download_at);
+    merge_index(combined.js_executed_at, s.js_executed_at);
+    merge_index(combined.mouse_event_at, s.mouse_event_at);
+    merge_index(combined.wrong_key_at, s.wrong_key_at);
+    merge_index(combined.hidden_link_at, s.hidden_link_at);
+    merge_index(combined.ua_mismatch_at, s.ua_mismatch_at);
+    merge_index(combined.captcha_passed_at, s.captcha_passed_at);
+    merge_index(combined.captcha_failed_at, s.captcha_failed_at);
+    merge_index(combined.robots_txt_at, s.robots_txt_at);
+    merge_index(combined.audio_probe_at, s.audio_probe_at);
+    merge_index(combined.attested_mouse_at, s.attested_mouse_at);
+    merge_index(combined.unattested_event_at, s.unattested_event_at);
+    if (combined.ua_echo_agent.empty()) {
+      combined.ua_echo_agent = s.ua_echo_agent;
+    }
+  }
+  return combined;
+}
+
+}  // namespace robodet

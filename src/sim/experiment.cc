@@ -1,0 +1,100 @@
+#include "src/sim/experiment.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/sim/gateway.h"
+#include "src/util/logging.h"
+
+namespace robodet {
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
+  Rng site_rng(config_.seed ^ 0x5174e5eedULL);
+  site_ = SiteModel::Generate(config_.site, site_rng);
+  origin_ = std::make_unique<OriginServer>(&site_);
+  config_.proxy.host = site_.host();
+  proxy_ = std::make_unique<ProxyServer>(
+      config_.proxy, &clock_,
+      [this](const Request& r) { return origin_->Handle(r); }, config_.seed ^ 0x9042ULL);
+}
+
+void Experiment::Run() {
+  if (ran_) {
+    return;
+  }
+  ran_ = true;
+
+  proxy_->sessions().set_on_closed([this](std::unique_ptr<SessionState> session) {
+    SessionRecord record;
+    record.session_id = session->id();
+    record.observation = session->observation();
+    record.events = session->events();
+    record.first_request = session->first_request_time();
+    record.last_request = session->last_request_time();
+    const auto it = identity_by_ip_.find(session->key().ip.value());
+    if (it != identity_by_ip_.end()) {
+      record.client_type = it->second.first;
+      record.truly_human = it->second.second;
+    }
+    records_.push_back(std::move(record));
+  });
+
+  PopulationFactory factory(&site_, config_.mix, config_.seed ^ 0x70f0ULL);
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(config_.num_clients);
+  Rng arrival_rng(config_.seed ^ 0xa881ULL);
+
+  // Min-heap of (next step time, client index).
+  using QueueItem = std::pair<TimeMs, size_t>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+
+  for (size_t i = 0; i < config_.num_clients; ++i) {
+    clients.push_back(factory.CreateClient(static_cast<uint32_t>(i)));
+    const ClientIdentity& id = clients.back()->identity();
+    identity_by_ip_[id.ip.value()] = {id.type_name, id.is_human};
+    queue.emplace(
+        static_cast<TimeMs>(arrival_rng.UniformU64(
+            static_cast<uint64_t>(std::max<TimeMs>(config_.arrival_window, 1)))),
+        i);
+  }
+
+  Gateway gateway(proxy_.get(), &clock_);
+  uint64_t steps = 0;
+  while (!queue.empty()) {
+    const auto [when, idx] = queue.top();
+    queue.pop();
+    clock_.AdvanceTo(when);
+    const auto next_delay = clients[idx]->Step(clock_.Now(), gateway);
+    if (next_delay.has_value()) {
+      queue.emplace(clock_.Now() + std::max<TimeMs>(*next_delay, 1), idx);
+    }
+    if (++steps % (1u << 18) == 0) {
+      ROBODET_LOG(kInfo) << "experiment steps=" << steps
+                         << " t=" << FormatDuration(clock_.Now())
+                         << " active_sessions=" << proxy_->sessions().active_count();
+    }
+  }
+
+  // Let the idle timeout elapse so every session closes "naturally".
+  clock_.Advance(2 * kHour);
+  proxy_->sessions().CloseAll();
+
+  for (const auto& client : clients) {
+    TypeStats& ts = type_stats_[client->identity().type_name];
+    ++ts.clients;
+    ts.requests += client->stats().requests;
+    ts.blocked += client->stats().blocked;
+  }
+}
+
+std::vector<const SessionRecord*> Experiment::RecordsWithMinRequests(int min_requests) const {
+  std::vector<const SessionRecord*> out;
+  for (const SessionRecord& r : records_) {
+    if (r.request_count() > min_requests) {
+      out.push_back(&r);
+    }
+  }
+  return out;
+}
+
+}  // namespace robodet

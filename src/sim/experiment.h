@@ -1,0 +1,85 @@
+// End-to-end experiment driver: builds a site, an origin server, an
+// instrumenting proxy and a mixed client population, then runs a
+// discrete-event loop where each client step issues requests through the
+// proxy. Closed sessions are labeled with ground truth (the simulation
+// knows which client is human) and collected as SessionRecords — the input
+// to every table/figure bench.
+#ifndef ROBODET_SRC_SIM_EXPERIMENT_H_
+#define ROBODET_SRC_SIM_EXPERIMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/proxy/proxy_server.h"
+#include "src/sim/population.h"
+#include "src/site/origin_server.h"
+#include "src/site/site_model.h"
+#include "src/util/clock.h"
+
+namespace robodet {
+
+struct SessionRecord {
+  uint64_t session_id = 0;
+  std::string client_type;
+  bool truly_human = false;
+  SessionObservation observation;
+  std::vector<RequestEvent> events;
+  TimeMs first_request = 0;
+  TimeMs last_request = 0;
+
+  int request_count() const { return observation.request_count; }
+  const SessionSignals& signals() const { return observation.signals; }
+};
+
+struct ExperimentConfig {
+  uint64_t seed = 1;
+  size_t num_clients = 2000;
+  // Client arrival times are uniform over this window, so sessions overlap
+  // the way they would on a live proxy.
+  TimeMs arrival_window = 12 * kHour;
+  SiteConfig site;
+  ProxyConfig proxy;
+  PopulationMix mix;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  // Runs every client to completion, then closes all sessions.
+  void Run();
+
+  const std::vector<SessionRecord>& records() const { return records_; }
+
+  // The paper analyzes sessions "that have sent more than 10 requests".
+  std::vector<const SessionRecord*> RecordsWithMinRequests(int min_requests) const;
+
+  ProxyServer& proxy() { return *proxy_; }
+  const SiteModel& site() const { return site_; }
+  SimClock& clock() { return clock_; }
+
+  struct TypeStats {
+    uint64_t clients = 0;
+    uint64_t requests = 0;
+    uint64_t blocked = 0;
+  };
+  const std::map<std::string, TypeStats>& type_stats() const { return type_stats_; }
+
+ private:
+  ExperimentConfig config_;
+  SimClock clock_;
+  SiteModel site_;
+  std::unique_ptr<OriginServer> origin_;
+  std::unique_ptr<ProxyServer> proxy_;
+  std::vector<SessionRecord> records_;
+  std::map<std::string, TypeStats> type_stats_;
+  // Ground truth: client identity by IP.
+  std::map<uint32_t, std::pair<std::string, bool>> identity_by_ip_;
+  bool ran_ = false;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_SIM_EXPERIMENT_H_

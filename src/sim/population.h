@@ -1,0 +1,108 @@
+// Population mixing: turns a weighted mix of client archetypes into
+// concrete Client instances with unique IPs, per-type User-Agent policies
+// and independent random streams. The default mix is calibrated so that a
+// Table-1-style run reproduces CoDeeN's observed session fractions (see
+// bench/table1_sessions.cc for the calibration notes).
+#ifndef ROBODET_SRC_SIM_POPULATION_H_
+#define ROBODET_SRC_SIM_POPULATION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/client.h"
+#include "src/sim/human_browser.h"
+#include "src/sim/robots.h"
+#include "src/site/site_model.h"
+
+namespace robodet {
+
+enum class ClientType {
+  kHuman,
+  kCrawler,
+  kPoliteCrawler,
+  kEmailHarvester,
+  kReferrerSpammer,
+  kClickFraud,
+  kBulletinSpam,
+  kLinkChecker,
+  kVulnScanner,
+  kOfflineBrowser,
+  kSmartBotScrapeOne,
+  kSmartBotScrapeAll,
+  kSmartBotJsNoEvents,   // Executes JS, no synthetic events (S_JS - S_MM).
+  kSmartBotFullMimic,    // §4.1 future bot: JS + synthetic mouse events.
+  kNumTypes,
+};
+
+std::string_view ClientTypeName(ClientType type);
+bool IsHumanType(ClientType type);
+
+struct PopulationMix {
+  // Relative weights; normalized internally. Defaults are calibrated so a
+  // Table-1 run over sessions with >10 requests lands near CoDeeN's
+  // observed fractions (CSS 28.9%, JS 27.1%, mouse 22.3%, hidden 1.0%,
+  // UA mismatch 0.7%, S_H 24.2%). See bench/table1_sessions.cc.
+  double human = 23.4;
+  double crawler = 0.2;
+  double polite_crawler = 0.2;
+  double email_harvester = 0.15;
+  double referrer_spammer = 37.2;
+  double click_fraud = 24.5;
+  double bulletin_spam = 1.5;
+  double link_checker = 0.5;
+  double vuln_scanner = 8.0;
+  double offline_browser = 0.3;
+  double smart_scrape_one = 0.4;
+  double smart_scrape_all = 0.2;
+  double smart_js_no_events = 4.4;
+  double smart_full_mimic = 0.0;  // None existed in 2006 (§4.1).
+
+  // Human sub-parameters.
+  double human_js_disabled_fraction = 0.042;  // Paper: 3.4-6%.
+  // Fraction of humans on text-mode browsers (no CSS/images/JS at all).
+  double human_text_browser_fraction = 0.05;
+  // Per page-view; low enough that some humans need several pages before
+  // their first event, which is what gives Figure 2's mouse CDF its tail.
+  double human_mouse_prob = 0.55;
+  double human_captcha_attempt_prob = 0.0;  // Enabled for Table-1 runs.
+  int human_min_pages = 4;
+  int human_max_pages = 26;
+
+  // Fraction of JS-executing smart bots whose header disagrees with their
+  // engine (drives Table 1's 0.7% browser-type mismatch row).
+  double smart_ua_misaligned_fraction = 0.15;
+
+  // Robot pacing/volume.
+  RobotConfig robot;
+
+  std::vector<double> Weights() const;
+};
+
+class PopulationFactory {
+ public:
+  PopulationFactory(const SiteModel* site, PopulationMix mix, uint64_t seed);
+
+  // Creates the index-th client; IPs are unique per index.
+  std::unique_ptr<Client> CreateClient(uint32_t index);
+
+  // The type that client index would get (deterministic given the seed).
+  ClientType SampleType();
+
+  static IpAddress IpForIndex(uint32_t index);
+
+ private:
+  std::unique_ptr<Client> MakeHuman(ClientIdentity id);
+  std::unique_ptr<Client> MakeSmartBot(ClientIdentity id, SmartBotMode mode,
+                                       bool execute_inline, bool synthesize);
+  std::string RobotUserAgent();
+
+  const SiteModel* site_;
+  PopulationMix mix_;
+  Rng rng_;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_SIM_POPULATION_H_

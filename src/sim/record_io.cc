@@ -1,0 +1,185 @@
+#include "src/sim/record_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/util/strings.h"
+
+namespace robodet {
+namespace {
+
+constexpr char kSessionsHeader[] =
+    "session_id,client_type,truly_human,request_count,instrumented_pages,"
+    "css_probe_at,js_download_at,js_executed_at,mouse_event_at,wrong_key_at,"
+    "hidden_link_at,ua_mismatch_at,captcha_passed_at,captcha_failed_at,"
+    "robots_txt_at,audio_probe_at,ua_echo_agent,first_request_ms,last_request_ms";
+
+constexpr char kEventsHeader[] =
+    "session_id,seq,kind,status_class,is_head,has_referrer,unseen_referrer,"
+    "is_embedded,is_link_follow,is_favicon";
+
+// The only free-text field is ua_echo_agent; it is sanitized (no spaces or
+// commas survive the echo path), but escape commas defensively anyway.
+std::string CsvField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c != ',' && c != '\n' && c != '\r') {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool WriteSessionsCsv(const std::string& path, const std::vector<SessionRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << kSessionsHeader << '\n';
+  for (const SessionRecord& r : records) {
+    const SessionSignals& s = r.signals();
+    out << r.session_id << ',' << CsvField(r.client_type) << ',' << (r.truly_human ? 1 : 0)
+        << ',' << r.request_count() << ',' << r.observation.instrumented_pages << ','
+        << s.css_probe_at << ',' << s.js_download_at << ',' << s.js_executed_at << ','
+        << s.mouse_event_at << ',' << s.wrong_key_at << ',' << s.hidden_link_at << ','
+        << s.ua_mismatch_at << ',' << s.captcha_passed_at << ',' << s.captcha_failed_at << ','
+        << s.robots_txt_at << ',' << s.audio_probe_at << ',' << CsvField(s.ua_echo_agent)
+        << ',' << r.first_request << ',' << r.last_request << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteEventsCsv(const std::string& path, const std::vector<SessionRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << kEventsHeader << '\n';
+  for (const SessionRecord& r : records) {
+    for (size_t i = 0; i < r.events.size(); ++i) {
+      const RequestEvent& e = r.events[i];
+      out << r.session_id << ',' << i << ',' << static_cast<int>(e.kind) << ','
+          << static_cast<int>(e.status_class) << ',' << (e.is_head ? 1 : 0) << ','
+          << (e.has_referrer ? 1 : 0) << ',' << (e.unseen_referrer ? 1 : 0) << ','
+          << (e.is_embedded ? 1 : 0) << ',' << (e.is_link_follow ? 1 : 0) << ','
+          << (e.is_favicon ? 1 : 0) << '\n';
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadRecordsCsv(const std::string& sessions_path, const std::string& events_path,
+                    std::vector<SessionRecord>* out) {
+  out->clear();
+  std::ifstream sessions(sessions_path);
+  if (!sessions) {
+    return false;
+  }
+  std::string line;
+  if (!std::getline(sessions, line) || line != kSessionsHeader) {
+    return false;
+  }
+  std::map<uint64_t, size_t> index_by_id;
+  while (std::getline(sessions, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> f = Split(line, ',');
+    if (f.size() != 19) {
+      return false;
+    }
+    SessionRecord r;
+    const auto id = ParseU64(f[0]);
+    if (!id.has_value()) {
+      return false;
+    }
+    r.session_id = *id;
+    r.client_type = f[1];
+    r.truly_human = f[2] == "1";
+    // Numeric columns 3..14 are non-negative ints.
+    auto as_int = [&f](size_t i, int* v) {
+      const auto parsed = ParseU64(f[i]);
+      if (!parsed.has_value()) {
+        return false;
+      }
+      *v = static_cast<int>(*parsed);
+      return true;
+    };
+    SessionSignals& s = r.observation.signals;
+    int ok = 1;
+    ok &= as_int(3, &r.observation.request_count) ? 1 : 0;
+    ok &= as_int(4, &r.observation.instrumented_pages) ? 1 : 0;
+    ok &= as_int(5, &s.css_probe_at) ? 1 : 0;
+    ok &= as_int(6, &s.js_download_at) ? 1 : 0;
+    ok &= as_int(7, &s.js_executed_at) ? 1 : 0;
+    ok &= as_int(8, &s.mouse_event_at) ? 1 : 0;
+    ok &= as_int(9, &s.wrong_key_at) ? 1 : 0;
+    ok &= as_int(10, &s.hidden_link_at) ? 1 : 0;
+    ok &= as_int(11, &s.ua_mismatch_at) ? 1 : 0;
+    ok &= as_int(12, &s.captcha_passed_at) ? 1 : 0;
+    ok &= as_int(13, &s.captcha_failed_at) ? 1 : 0;
+    ok &= as_int(14, &s.robots_txt_at) ? 1 : 0;
+    ok &= as_int(15, &s.audio_probe_at) ? 1 : 0;
+    if (ok == 0) {
+      return false;
+    }
+    s.ua_echo_agent = f[16];
+    const auto first = ParseU64(f[17]);
+    const auto last = ParseU64(f[18]);
+    if (!first.has_value() || !last.has_value()) {
+      return false;
+    }
+    r.first_request = static_cast<TimeMs>(*first);
+    r.last_request = static_cast<TimeMs>(*last);
+    index_by_id[r.session_id] = out->size();
+    out->push_back(std::move(r));
+  }
+
+  std::ifstream events(events_path);
+  if (!events) {
+    return false;
+  }
+  if (!std::getline(events, line) || line != kEventsHeader) {
+    return false;
+  }
+  while (std::getline(events, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> f = Split(line, ',');
+    if (f.size() != 10) {
+      return false;
+    }
+    const auto id = ParseU64(f[0]);
+    if (!id.has_value()) {
+      return false;
+    }
+    const auto it = index_by_id.find(*id);
+    if (it == index_by_id.end()) {
+      return false;  // Event for an unknown session.
+    }
+    const auto kind = ParseU64(f[2]);
+    const auto status = ParseU64(f[3]);
+    if (!kind.has_value() || !status.has_value()) {
+      return false;
+    }
+    RequestEvent e;
+    e.kind = static_cast<ResourceKind>(*kind);
+    e.status_class = static_cast<uint8_t>(*status);
+    e.is_head = f[4] == "1";
+    e.has_referrer = f[5] == "1";
+    e.unseen_referrer = f[6] == "1";
+    e.is_embedded = f[7] == "1";
+    e.is_link_follow = f[8] == "1";
+    e.is_favicon = f[9] == "1";
+    (*out)[it->second].events.push_back(e);
+  }
+  return true;
+}
+
+}  // namespace robodet

@@ -1,0 +1,31 @@
+// Session-log serialization: export labeled SessionRecords to CSV (one
+// sessions table, one per-request events table) and load them back. This
+// is the "log tooling" an operator needs to move captures between the
+// proxy, offline analysis, and the ML harness — the paper's team did this
+// by grepping proxy logs; here it is a first-class, round-trippable format.
+#ifndef ROBODET_SRC_SIM_RECORD_IO_H_
+#define ROBODET_SRC_SIM_RECORD_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/experiment.h"
+
+namespace robodet {
+
+// Writes one row per session: identity, label, signal indices, counters.
+// Returns false on I/O failure.
+bool WriteSessionsCsv(const std::string& path, const std::vector<SessionRecord>& records);
+
+// Writes one row per tracked request event, keyed by session_id.
+bool WriteEventsCsv(const std::string& path, const std::vector<SessionRecord>& records);
+
+// Loads both tables back into records (events merged by session_id).
+// Returns false on I/O failure or malformed rows; partial results are
+// discarded.
+bool ReadRecordsCsv(const std::string& sessions_path, const std::string& events_path,
+                    std::vector<SessionRecord>* out);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_SIM_RECORD_IO_H_

@@ -1,0 +1,43 @@
+// Origin server over a SiteModel: resolves HTTP requests to responses.
+// This is what sits behind the instrumenting proxy in every experiment.
+#ifndef ROBODET_SRC_SITE_ORIGIN_SERVER_H_
+#define ROBODET_SRC_SITE_ORIGIN_SERVER_H_
+
+#include <string>
+
+#include "src/http/request.h"
+#include "src/site/site_model.h"
+#include "src/util/rng.h"
+
+namespace robodet {
+
+class OriginServer {
+ public:
+  explicit OriginServer(const SiteModel* site) : site_(site) {}
+
+  // Bulletin-board state (bounded; oldest posts scroll off).
+  size_t board_post_count() const { return board_posts_total_; }
+
+  // Resolves one request. Pages render HTML; /r/<id> issues 302 to the
+  // page; CGI endpoints render a small dynamic page (and occasionally
+  // redirect, which is what makes RESPCODE_3XX% informative); static assets
+  // return deterministic filler bytes; unknown paths 404.
+  Response Handle(const Request& request);
+
+  // Counters for sanity checks and reports.
+  uint64_t requests_served() const { return requests_served_; }
+  uint64_t not_found() const { return not_found_; }
+
+ private:
+  Response HandleBoard(const Request& request);
+
+  const SiteModel* site_;  // Not owned.
+  std::vector<std::string> board_posts_;
+  uint64_t board_posts_total_ = 0;
+  uint64_t requests_served_ = 0;
+  uint64_t not_found_ = 0;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_SITE_ORIGIN_SERVER_H_

@@ -1,0 +1,30 @@
+#include "src/util/clock.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace robodet {
+
+std::string FormatDuration(TimeMs t) {
+  const bool neg = t < 0;
+  if (neg) {
+    t = -t;
+  }
+  const int64_t days = t / kDay;
+  const int64_t hours = (t % kDay) / kHour;
+  const int64_t minutes = (t % kHour) / kMinute;
+  const int64_t seconds = (t % kMinute) / kSecond;
+  const int64_t millis = t % kSecond;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%" PRId64 "d %02" PRId64 ":%02" PRId64 ":%02" PRId64
+                  ".%03" PRId64,
+                  neg ? "-" : "", days, hours, minutes, seconds, millis);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02" PRId64 ":%02" PRId64 ":%02" PRId64 ".%03" PRId64,
+                  neg ? "-" : "", hours, minutes, seconds, millis);
+  }
+  return buf;
+}
+
+}  // namespace robodet

@@ -1,0 +1,30 @@
+// FNV-1a hashing and combination helpers; used for session keys and for
+// deriving stable per-object identifiers from names.
+#ifndef ROBODET_SRC_UTIL_HASH_H_
+#define ROBODET_SRC_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace robodet {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr uint64_t Fnv1a(std::string_view s, uint64_t seed = kFnvOffset) {
+  uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // Boost-style combine with 64-bit golden ratio.
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_UTIL_HASH_H_

@@ -1,0 +1,46 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+
+namespace robodet {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+LogSink g_sink;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogSink(LogSink sink) { g_sink = std::move(sink); }
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+    return;
+  }
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace robodet

@@ -1,0 +1,58 @@
+// Minimal leveled logging to stderr. Benchmarks and examples set the level;
+// the library defaults to warnings only so tests stay quiet.
+#ifndef ROBODET_SRC_UTIL_LOGGING_H_
+#define ROBODET_SRC_UTIL_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace robodet {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Redirects log output. The sink receives messages that pass the level
+// filter; null restores the default stderr writer.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void SetLogSink(LogSink sink);
+
+// Emits one line ("[LEVEL] message" on the default stderr sink).
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace robodet
+
+#define ROBODET_LOG(level) ::robodet::internal::LogLine(::robodet::LogLevel::level)
+
+#endif  // ROBODET_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,173 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace robodet {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& w : state_) {
+    w = SplitMix64(s);
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  if (bound == 0) {
+    return 0;
+  }
+  // Rejection sampling: discard the biased tail of the 64-bit range.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return UniformDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  double u = UniformDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n <= 1) {
+    return 0;
+  }
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = acc;
+    }
+    const double total = acc;
+    for (auto& c : zipf_cdf_) {
+      c /= total;
+    }
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  const double u = UniformDouble();
+  // Binary search for the first index with cdf >= u.
+  size_t lo = 0;
+  size_t hi = n - 1;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint64_t Rng::Geometric(double p) {
+  if (p >= 1.0) {
+    return 0;
+  }
+  if (p <= 0.0) {
+    return UINT64_MAX;
+  }
+  double u = UniformDouble();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::string Rng::HexKey128() {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (int word = 0; word < 2; ++word) {
+    uint64_t v = NextU64();
+    for (int i = 60; i >= 0; i -= 4) {
+      out.push_back(kHex[(v >> i) & 0xf]);
+    }
+  }
+  return out;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    total += w > 0.0 ? w : 0.0;
+  }
+  if (total <= 0.0) {
+    return weights.size();
+  }
+  double u = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (u < w) {
+      return i;
+    }
+    u -= w;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace robodet

@@ -1,0 +1,39 @@
+// String helpers shared across the HTTP, HTML and JS modules.
+#ifndef ROBODET_SRC_UTIL_STRINGS_H_
+#define ROBODET_SRC_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace robodet {
+
+// ASCII-only lowercase copy (HTTP header/token semantics; no locale).
+std::string AsciiLower(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Parses a non-negative decimal integer; rejects junk and overflow.
+std::optional<uint64_t> ParseU64(std::string_view s);
+
+// True if `s` contains `needle` case-insensitively.
+bool ContainsIgnoreCase(std::string_view s, std::string_view needle);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_UTIL_STRINGS_H_

@@ -1,0 +1,132 @@
+// Failure injection for the HTML path: seeded pseudo-random documents —
+// including pathological ones — must tokenize without crashing, reach a
+// serialization fixed point, and survive instrumentation. The proxy
+// rewrites whatever HTML origins emit, so "forgiving" is a correctness
+// requirement, not a nicety.
+#include <gtest/gtest.h>
+
+#include "src/html/document.h"
+#include "src/html/injector.h"
+#include "src/html/tokenizer.h"
+#include "src/util/rng.h"
+
+namespace robodet {
+namespace {
+
+// Generates messy-but-plausible HTML: random nesting, unclosed tags,
+// stray '<', attribute soup, comments, scripts.
+std::string GenerateMessyHtml(Rng& rng, size_t target_size) {
+  static const char* const kTags[] = {"div", "p", "a", "img", "span", "table", "td",
+                                      "body", "head", "html", "li", "script", "style"};
+  static const char* const kFragments[] = {
+      "plain text ",       "<",           "<<",          "a < b ",
+      "<!-- comment -->",  "<!DOCTYPE html>", "&amp; entity ", "\n\t ",
+      "<a href=broken",    "quote\" in text ", "=",          "<3 hearts ",
+  };
+  std::string out;
+  int open_depth = 0;
+  while (out.size() < target_size) {
+    switch (rng.UniformU64(6)) {
+      case 0: {
+        const char* tag = kTags[rng.UniformU64(13)];
+        out += "<";
+        out += tag;
+        const size_t attrs = rng.UniformU64(3);
+        for (size_t a = 0; a < attrs; ++a) {
+          switch (rng.UniformU64(3)) {
+            case 0:
+              out += " href=\"/x" + std::to_string(rng.UniformU64(100)) + ".html\"";
+              break;
+            case 1:
+              out += " class=c" + std::to_string(rng.UniformU64(10));
+              break;
+            default:
+              out += " data-x='q" + std::to_string(rng.UniformU64(10)) + "'";
+              break;
+          }
+        }
+        out += rng.Bernoulli(0.15) ? "/>" : ">";
+        ++open_depth;
+        break;
+      }
+      case 1:
+        if (open_depth > 0 && rng.Bernoulli(0.7)) {
+          out += "</";
+          out += kTags[rng.UniformU64(13)];
+          out += ">";
+          --open_depth;
+        }
+        break;
+      case 2:
+        out += kFragments[rng.UniformU64(12)];
+        break;
+      case 3:
+        out += "<script>var x = 'a < b';</script>";
+        break;
+      case 4:
+        out += "word" + std::to_string(rng.UniformU64(1000)) + " ";
+        break;
+      default:
+        out += "<img src=\"/i" + std::to_string(rng.UniformU64(50)) + ".jpg\">";
+        break;
+    }
+  }
+  return out;
+}
+
+class HtmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HtmlFuzzTest, TokenizeSerializeFixedPoint) {
+  Rng rng(GetParam());
+  const std::string html = GenerateMessyHtml(rng, 2000 + rng.UniformU64(6000));
+  const auto tokens = TokenizeHtml(html);
+  const std::string once = SerializeHtml(tokens);
+  const auto tokens2 = TokenizeHtml(once);
+  const std::string twice = SerializeHtml(tokens2);
+  // Serialization must reach a fixed point after one round.
+  EXPECT_EQ(once, twice);
+  ASSERT_EQ(tokens.size(), tokens2.size());
+}
+
+TEST_P(HtmlFuzzTest, DocumentQueriesNeverCrash) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const std::string html = GenerateMessyHtml(rng, 4000);
+  HtmlDocument doc(html);
+  const auto links = doc.Links();
+  const auto visible = doc.VisibleLinks();
+  EXPECT_LE(visible.size(), links.size());
+  (void)doc.EmbeddedObjects();
+  (void)doc.InlineScripts();
+  (void)doc.BodyEventHandler("onmousemove");
+}
+
+TEST_P(HtmlFuzzTest, InstrumentationSurvivesAndProbesLand) {
+  Rng rng(GetParam() ^ 0x123456);
+  const std::string html = GenerateMessyHtml(rng, 3000);
+  InjectionPlan plan;
+  plan.beacon_script_url = "http://e.com/__rd/js_t.js";
+  plan.mouse_handler_code = "return d();";
+  plan.ua_echo_script = "var a = 1;";
+  plan.css_probe_url = "http://e.com/__rd/cp_t.css";
+  plan.hidden_link_url = "http://e.com/__rd/hl_t.html";
+  plan.transparent_image_url = "http://e.com/__rd/ti.jpg";
+  const InjectionResult result = InstrumentHtml(html, plan);
+  // Early and late insertions always land, whatever the document shape.
+  EXPECT_TRUE(result.injected_beacon_script);
+  EXPECT_TRUE(result.injected_css_probe);
+  EXPECT_TRUE(result.injected_hidden_link);
+  // The instrumented output is still parseable and carries the probes.
+  HtmlDocument doc(result.html);
+  bool has_probe = false;
+  for (const EmbedRef& e : doc.EmbeddedObjects()) {
+    has_probe |= e.url == plan.css_probe_url;
+  }
+  EXPECT_TRUE(has_probe);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtmlFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u, 12u,
+                                           13u, 14u, 15u, 16u));
+
+}  // namespace
+}  // namespace robodet

@@ -1,0 +1,60 @@
+#include "src/http/cache_control.h"
+
+#include <gtest/gtest.h>
+
+namespace robodet {
+namespace {
+
+TEST(CacheControlTest, ParsesDirectives) {
+  const CacheDirectives d = ParseCacheControl("no-cache, no-store, max-age=60");
+  EXPECT_TRUE(d.no_cache);
+  EXPECT_TRUE(d.no_store);
+  EXPECT_EQ(d.max_age, 60);
+}
+
+TEST(CacheControlTest, ParsesWithOddSpacingAndCase) {
+  const CacheDirectives d = ParseCacheControl("  NO-CACHE ,max-age=0");
+  EXPECT_TRUE(d.no_cache);
+  EXPECT_FALSE(d.no_store);
+  EXPECT_EQ(d.max_age, 0);
+}
+
+TEST(CacheControlTest, IgnoresUnknownDirectives) {
+  const CacheDirectives d = ParseCacheControl("public, s-maxage=30, immutable");
+  EXPECT_FALSE(d.no_cache);
+  EXPECT_FALSE(d.no_store);
+  EXPECT_EQ(d.max_age, -1);
+}
+
+TEST(CacheControlTest, EmptyValue) {
+  const CacheDirectives d = ParseCacheControl("");
+  EXPECT_FALSE(d.no_cache);
+  EXPECT_EQ(d.max_age, -1);
+}
+
+TEST(IsCacheableTest, PlainOkIsCacheable) {
+  Response r = MakeResponse(StatusCode::kOk, ResourceKind::kCss, "body");
+  EXPECT_TRUE(IsCacheable(r));
+}
+
+TEST(IsCacheableTest, NoCacheNoStoreNotCacheable) {
+  Response r = MakeResponse(StatusCode::kOk, ResourceKind::kJavaScript, "x");
+  r.headers.Set("Cache-Control", "no-cache, no-store");
+  EXPECT_FALSE(IsCacheable(r));
+}
+
+TEST(IsCacheableTest, MaxAgeZeroNotCacheable) {
+  Response r = MakeResponse(StatusCode::kOk, ResourceKind::kCss, "x");
+  r.headers.Set("Cache-Control", "max-age=0");
+  EXPECT_FALSE(IsCacheable(r));
+}
+
+TEST(IsCacheableTest, ErrorsNotCacheable) {
+  Response r = MakeResponse(StatusCode::kNotFound, ResourceKind::kHtml, "x");
+  EXPECT_FALSE(IsCacheable(r));
+  Response redirect = MakeRedirect(*Url::Parse("http://e.com/x"));
+  EXPECT_FALSE(IsCacheable(redirect));
+}
+
+}  // namespace
+}  // namespace robodet

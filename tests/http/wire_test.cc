@@ -1,0 +1,153 @@
+#include "src/http/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "src/proxy/proxy_server.h"
+
+namespace robodet {
+namespace {
+
+TEST(WireRequestTest, OriginFormWithHost) {
+  const auto result = ParseRequestText(
+      "GET /p/1.html?q=2 HTTP/1.1\r\n"
+      "Host: www.example.com\r\n"
+      "User-Agent: TestUA/1.0\r\n"
+      "Referer: http://www.example.com/\r\n"
+      "\r\n");
+  ASSERT_TRUE(result) << result.error.message;
+  const Request& r = *result.value;
+  EXPECT_EQ(r.method, Method::kGet);
+  EXPECT_EQ(r.url.ToString(), "http://www.example.com/p/1.html?q=2");
+  EXPECT_EQ(r.UserAgent(), "TestUA/1.0");
+  EXPECT_TRUE(r.HasReferrer());
+}
+
+TEST(WireRequestTest, AbsoluteFormProxyRequest) {
+  const auto result = ParseRequestText(
+      "GET http://origin.example.net:8080/x.css HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(result) << result.error.message;
+  EXPECT_EQ(result.value->url.host(), "origin.example.net");
+  EXPECT_EQ(result.value->url.port(), 8080);
+}
+
+TEST(WireRequestTest, HostWithPort) {
+  const auto result = ParseRequestText(
+      "HEAD /x HTTP/1.1\r\nHost: example.com:8080\r\n\r\n");
+  ASSERT_TRUE(result) << result.error.message;
+  EXPECT_EQ(result.value->method, Method::kHead);
+  EXPECT_EQ(result.value->url.port(), 8080);
+}
+
+TEST(WireRequestTest, BareLfTolerated) {
+  const auto result = ParseRequestText("GET / HTTP/1.1\nHost: e.com\n\n");
+  ASSERT_TRUE(result) << result.error.message;
+  EXPECT_EQ(result.value->url.host(), "e.com");
+}
+
+TEST(WireRequestTest, Errors) {
+  EXPECT_FALSE(ParseRequestText(""));
+  EXPECT_FALSE(ParseRequestText("GET /\r\n\r\n"));                      // 2 tokens.
+  EXPECT_FALSE(ParseRequestText("FROB / HTTP/1.1\r\n\r\n"));            // Method.
+  EXPECT_FALSE(ParseRequestText("GET / SPDY/3\r\n\r\n"));               // Version.
+  EXPECT_FALSE(ParseRequestText("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"));
+  EXPECT_FALSE(ParseRequestText("GET / HTTP/1.1\r\nHost: e.com\r\n"));  // No blank line.
+  EXPECT_FALSE(ParseRequestText("GET / HTTP/1.1\r\n\r\n"));             // No Host.
+  EXPECT_FALSE(ParseRequestText("GET relative HTTP/1.1\r\nHost: e\r\n\r\n"));
+  const auto err = ParseRequestText("GET / HTTP/1.1\r\nBad Header: x\r\n\r\n");
+  ASSERT_FALSE(err);
+  EXPECT_FALSE(err.error.message.empty());
+}
+
+TEST(WireResponseTest, BasicWithBody) {
+  const auto result = ParseResponseText(
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: text/html\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "hello-and-some-trailing-garbage");
+  ASSERT_TRUE(result) << result.error.message;
+  EXPECT_EQ(result.value->status, StatusCode::kOk);
+  EXPECT_EQ(result.value->body, "hello");  // Content-Length trims.
+  EXPECT_TRUE(result.value->IsHtml());
+}
+
+TEST(WireResponseTest, NoContentLengthTakesAll) {
+  const auto result = ParseResponseText("HTTP/1.0 404 Not Found\r\n\r\nmissing page");
+  ASSERT_TRUE(result) << result.error.message;
+  EXPECT_EQ(StatusValue(result.value->status), 404);
+  EXPECT_EQ(result.value->body, "missing page");
+}
+
+TEST(WireResponseTest, ReasonPhraseOptionalAndMultiWord) {
+  EXPECT_TRUE(ParseResponseText("HTTP/1.1 204\r\n\r\n"));
+  EXPECT_TRUE(ParseResponseText("HTTP/1.1 500 Internal Server Error\r\n\r\n"));
+}
+
+TEST(WireResponseTest, ChunkedRejectedExplicitly) {
+  const auto result = ParseResponseText(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n");
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error.message.find("chunked"), std::string::npos);
+}
+
+TEST(WireResponseTest, Errors) {
+  EXPECT_FALSE(ParseResponseText(""));
+  EXPECT_FALSE(ParseResponseText("200 OK\r\n\r\n"));
+  EXPECT_FALSE(ParseResponseText("HTTP/1.1 999 Wat\r\n\r\n"));
+  EXPECT_FALSE(ParseResponseText("HTTP/1.1 20x OK\r\n\r\n"));
+}
+
+TEST(WireRoundTripTest, RequestSurvives) {
+  Request request;
+  request.method = Method::kGet;
+  request.url = *Url::Parse("http://www.example.com/p/1.html?a=b");
+  request.headers.Set("User-Agent", "Mozilla/5.0 (X11)");
+  request.headers.Set("Referer", "http://www.example.com/");
+  const std::string wire = SerializeRequest(request);
+  const auto parsed = ParseRequestText(wire);
+  ASSERT_TRUE(parsed) << parsed.error.message;
+  EXPECT_EQ(parsed.value->url, request.url);
+  EXPECT_EQ(parsed.value->UserAgent(), request.UserAgent());
+  EXPECT_EQ(parsed.value->Referrer(), request.Referrer());
+}
+
+TEST(WireRoundTripTest, ResponseSurvives) {
+  Response response = MakeHtmlResponse("<html><body>x</body></html>");
+  response.headers.Set("Cache-Control", "no-cache, no-store");
+  const std::string wire = SerializeResponse(response);
+  const auto parsed = ParseResponseText(wire);
+  ASSERT_TRUE(parsed) << parsed.error.message;
+  EXPECT_EQ(parsed.value->status, response.status);
+  EXPECT_EQ(parsed.value->body, response.body);
+  EXPECT_EQ(parsed.value->headers.Get("Cache-Control"), "no-cache, no-store");
+}
+
+// The adoption path: raw wire request in, proxy verdict machinery engaged.
+TEST(WireIntegrationTest, ParsedRequestDrivesProxy) {
+  SimClock clock;
+  ProxyConfig config;
+  config.host = "www.example.com";
+  ProxyServer proxy(config, &clock,
+                    [](const Request&) {
+                      return MakeHtmlResponse("<html><body><p>hi</p></body></html>");
+                    },
+                    3);
+  const auto parsed = ParseRequestText(
+      "GET /index.html HTTP/1.1\r\n"
+      "Host: www.example.com\r\n"
+      "User-Agent: Mozilla/5.0\r\n"
+      "\r\n");
+  ASSERT_TRUE(parsed) << parsed.error.message;
+  Request request = *parsed.value;
+  request.client_ip = IpAddress(42);
+  request.time = clock.Now();
+  const auto result = proxy.Handle(request);
+  EXPECT_EQ(result.response.status, StatusCode::kOk);
+  EXPECT_NE(result.response.body.find("/__rd/"), std::string::npos);
+  // And the instrumented response serializes back to valid wire bytes.
+  const std::string wire = SerializeResponse(result.response);
+  EXPECT_TRUE(ParseResponseText(wire));
+}
+
+}  // namespace
+}  // namespace robodet

@@ -1,0 +1,142 @@
+#include "src/js/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/js/interpreter.h"
+
+namespace robodet {
+namespace {
+
+BeaconSpec MakeSpec(int obfuscation_level, size_t decoys = 4) {
+  BeaconSpec spec;
+  spec.host = "www.example.com";
+  spec.path_prefix = "/__rd/";
+  spec.real_key = "00112233445566778899aabbccddeeff";
+  for (size_t i = 0; i < decoys; ++i) {
+    spec.decoy_keys.push_back("deadbeef0000000000000000000000" + std::to_string(10 + i));
+  }
+  spec.obfuscation_level = obfuscation_level;
+  return spec;
+}
+
+class BeaconLevelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BeaconLevelTest, HandlerFetchesExactlyTheRealUrl) {
+  Rng rng(1234 + GetParam());
+  const BeaconSpec spec = MakeSpec(GetParam());
+  const GeneratedBeacon beacon = GenerateBeaconScript(spec, rng);
+
+  JsInterpreter interp(JsInterpreter::Config{"TestBrowser/1.0", 200000});
+  const auto run = interp.Run(beacon.script_source);
+  ASSERT_TRUE(run.ok) << run.error << "\n" << beacon.script_source;
+  EXPECT_TRUE(interp.fetched_urls().empty());  // Idle until the event.
+
+  const auto handler = interp.RunHandler(beacon.handler_code);
+  ASSERT_TRUE(handler.ok) << handler.error;
+  ASSERT_EQ(interp.fetched_urls().size(), 1u);
+  EXPECT_EQ(interp.fetched_urls()[0], beacon.real_url);
+
+  // Second event: guarded by the do-once flag.
+  interp.ClearObservations();
+  ASSERT_TRUE(interp.RunHandler(beacon.handler_code).ok);
+  EXPECT_TRUE(interp.fetched_urls().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, BeaconLevelTest, ::testing::Values(0, 1, 2, 3));
+
+TEST(GeneratorTest, RealUrlContainsKey) {
+  Rng rng(7);
+  const BeaconSpec spec = MakeSpec(0);
+  const GeneratedBeacon beacon = GenerateBeaconScript(spec, rng);
+  EXPECT_EQ(beacon.real_url,
+            "http://www.example.com/__rd/bk_00112233445566778899aabbccddeeff.jpg");
+  EXPECT_EQ(beacon.decoy_urls.size(), 4u);
+}
+
+TEST(GeneratorTest, DecoysAppearInSource) {
+  Rng rng(8);
+  const BeaconSpec spec = MakeSpec(0);
+  const GeneratedBeacon beacon = GenerateBeaconScript(spec, rng);
+  for (const std::string& decoy : beacon.decoy_urls) {
+    EXPECT_NE(beacon.script_source.find(decoy), std::string::npos);
+  }
+  EXPECT_NE(beacon.script_source.find(beacon.real_url), std::string::npos);
+}
+
+TEST(GeneratorTest, DeterministicGivenSameRngState) {
+  const BeaconSpec spec = MakeSpec(3);
+  Rng rng1(42);
+  Rng rng2(42);
+  const GeneratedBeacon a = GenerateBeaconScript(spec, rng1);
+  const GeneratedBeacon b = GenerateBeaconScript(spec, rng2);
+  EXPECT_EQ(a.script_source, b.script_source);
+  EXPECT_EQ(a.handler_code, b.handler_code);
+  EXPECT_EQ(a.real_url, b.real_url);
+}
+
+TEST(GeneratorTest, ObfuscatedHandlerNameIsNotDispatch) {
+  Rng rng(9);
+  const BeaconSpec spec = MakeSpec(2);
+  const GeneratedBeacon beacon = GenerateBeaconScript(spec, rng);
+  EXPECT_EQ(beacon.script_source.find("dispatch"), std::string::npos);
+  EXPECT_EQ(beacon.script_source.find("fetch_0"), std::string::npos);
+  EXPECT_NE(beacon.handler_code.find("return "), std::string::npos);
+}
+
+TEST(GeneratorTest, PaddingReachesTarget) {
+  Rng rng(10);
+  BeaconSpec spec = MakeSpec(3);
+  spec.pad_to_bytes = 4096;
+  const GeneratedBeacon beacon = GenerateBeaconScript(spec, rng);
+  EXPECT_GE(beacon.script_source.size(), 4096u);
+}
+
+TEST(GeneratorTest, ZeroDecoysStillWorks) {
+  Rng rng(11);
+  const BeaconSpec spec = MakeSpec(0, 0);
+  const GeneratedBeacon beacon = GenerateBeaconScript(spec, rng);
+  JsInterpreter interp(JsInterpreter::Config{"ua", 100000});
+  ASSERT_TRUE(interp.Run(beacon.script_source).ok);
+  ASSERT_TRUE(interp.RunHandler(beacon.handler_code).ok);
+  ASSERT_EQ(interp.fetched_urls().size(), 1u);
+  EXPECT_EQ(interp.fetched_urls()[0], beacon.real_url);
+}
+
+TEST(UaEchoTest, ExecutionWritesStylesheetWithTokenAndAgent) {
+  const std::string script =
+      GenerateUaEchoScript("www.example.com", "/__rd/", "token123token123tokenxyz");
+  JsInterpreter interp(JsInterpreter::Config{"Mozilla/5.0 (X11; Linux) Firefox/1.5", 100000});
+  const auto r = interp.Run(script);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(interp.document_writes().size(), 1u);
+  const std::string& written = interp.document_writes()[0];
+  EXPECT_NE(written.find("ua_token123token123tokenxyz_"), std::string::npos);
+  // Sanitized agent: lowercase, no spaces, '/' -> '-'.
+  EXPECT_NE(written.find("mozilla-5.0(x11;linux)firefox-1.5"), std::string::npos);
+  EXPECT_NE(written.find(".css"), std::string::npos);
+}
+
+TEST(ExtractTest, BeaconKey) {
+  EXPECT_EQ(ExtractBeaconKey("/__rd/bk_aabb.jpg", "/__rd/"), "aabb");
+  EXPECT_EQ(ExtractBeaconKey("/__rd/bk_.jpg", "/__rd/"), "");
+  EXPECT_EQ(ExtractBeaconKey("/other/bk_aabb.jpg", "/__rd/"), "");
+  EXPECT_EQ(ExtractBeaconKey("/__rd/bk_aabb.png", "/__rd/"), "");
+  EXPECT_EQ(ExtractBeaconKey("/__rd/cp_aabb.css", "/__rd/"), "");
+}
+
+TEST(ExtractTest, UaEchoTokenAndAgent) {
+  const std::string path = "/__rd/ua_tok123_mozilla-5.0firefox.css";
+  EXPECT_EQ(ExtractUaEchoToken(path, "/__rd/"), "tok123");
+  EXPECT_EQ(ExtractUaEchoAgent(path, "/__rd/"), "mozilla-5.0firefox");
+  EXPECT_EQ(ExtractUaEchoToken("/__rd/ua_only.css", "/__rd/"), "only");
+  EXPECT_EQ(ExtractUaEchoAgent("/__rd/ua_only.css", "/__rd/"), "");
+}
+
+TEST(ExtractTest, StemName) {
+  EXPECT_EQ(ExtractStemName("/__rd/js_tok.js", "/__rd/", "js_", ".js"), "tok");
+  EXPECT_EQ(ExtractStemName("/__rd/js_tok.js", "/__rd/", "cp_", ".css"), "");
+  EXPECT_EQ(ExtractStemName("/__rd/js_.js", "/__rd/", "js_", ".js"), "");
+}
+
+}  // namespace
+}  // namespace robodet

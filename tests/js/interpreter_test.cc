@@ -1,0 +1,227 @@
+#include "src/js/interpreter.h"
+
+#include <gtest/gtest.h>
+
+namespace robodet {
+namespace {
+
+JsInterpreter Make(const std::string& ua = "TestAgent/1.0") {
+  return JsInterpreter(JsInterpreter::Config{ua, 100000});
+}
+
+TEST(JsInterpreterTest, Arithmetic) {
+  auto interp = Make();
+  const auto r = interp.RunHandler("return (1 + 2) * 3 - 4 / 2;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(std::get<double>(r.value), 7.0);
+}
+
+TEST(JsInterpreterTest, StringConcat) {
+  auto interp = Make();
+  const auto r = interp.RunHandler("return 'a' + 'b' + 1;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(std::get<std::string>(r.value), "ab1");
+}
+
+TEST(JsInterpreterTest, ComparisonAndEquality) {
+  auto interp = Make();
+  EXPECT_TRUE(std::get<bool>(interp.RunHandler("return 1 < 2;").value));
+  EXPECT_TRUE(std::get<bool>(interp.RunHandler("return 'x' == 'x';").value));
+  EXPECT_TRUE(std::get<bool>(interp.RunHandler("return 1 == '1';").value));
+  EXPECT_FALSE(std::get<bool>(interp.RunHandler("return 1 === '1';").value));
+  EXPECT_TRUE(std::get<bool>(interp.RunHandler("return null == undefined;").value));
+  EXPECT_TRUE(std::get<bool>(interp.RunHandler("return false == 0;").value));
+}
+
+TEST(JsInterpreterTest, VariablesPersistAcrossRuns) {
+  auto interp = Make();
+  ASSERT_TRUE(interp.Run("var counter = 10;").ok);
+  const auto r = interp.RunHandler("return counter + 1;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(std::get<double>(r.value), 11.0);
+}
+
+TEST(JsInterpreterTest, FunctionsAndHoisting) {
+  auto interp = Make();
+  // Call site before declaration: hoisting must make this work.
+  const auto r = interp.Run("var result = f(4); function f(x) { return x * x; }");
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto check = interp.RunHandler("return result;");
+  EXPECT_EQ(std::get<double>(check.value), 16.0);
+}
+
+TEST(JsInterpreterTest, IfElseAndWhile) {
+  auto interp = Make();
+  const auto r = interp.Run(
+      "var total = 0; var i = 0;"
+      "while (i < 5) { if (i % 2 == 0) { total += i; } else { total += 1; } i = i + 1; }");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(std::get<double>(interp.RunHandler("return total;").value), 8.0);
+}
+
+TEST(JsInterpreterTest, ImageSrcTriggersFetch) {
+  auto interp = Make();
+  const auto r = interp.Run(
+      "var img = new Image(); img.src = 'http://example.com/beacon.jpg';");
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(interp.fetched_urls().size(), 1u);
+  EXPECT_EQ(interp.fetched_urls()[0], "http://example.com/beacon.jpg");
+}
+
+TEST(JsInterpreterTest, DocumentWriteRecorded) {
+  auto interp = Make();
+  ASSERT_TRUE(interp.Run("document.write('<link href=\"x.css\">');").ok);
+  ASSERT_EQ(interp.document_writes().size(), 1u);
+  EXPECT_EQ(interp.document_writes()[0], "<link href=\"x.css\">");
+}
+
+TEST(JsInterpreterTest, NavigatorUserAgent) {
+  auto interp = Make("Mozilla/5.0 Custom");
+  const auto r = interp.RunHandler("return navigator.userAgent;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(std::get<std::string>(r.value), "Mozilla/5.0 Custom");
+}
+
+TEST(JsInterpreterTest, StringMethods) {
+  auto interp = Make();
+  EXPECT_EQ(std::get<std::string>(interp.RunHandler("return 'AbC'.toLowerCase();").value),
+            "abc");
+  EXPECT_EQ(std::get<std::string>(interp.RunHandler("return 'a b c'.replaceAll(' ', '');").value),
+            "abc");
+  EXPECT_EQ(std::get<double>(interp.RunHandler("return 'hello'.length;").value), 5.0);
+  EXPECT_EQ(std::get<double>(interp.RunHandler("return 'hello'.indexOf('ll');").value), 2.0);
+  EXPECT_EQ(std::get<std::string>(interp.RunHandler("return 'hello'.substring(1, 3);").value),
+            "el");
+}
+
+TEST(JsInterpreterTest, Figure1EndToEnd) {
+  auto interp = Make();
+  const char* kScript =
+      "var do_once = false;"
+      "function f() {"
+      "  if (do_once == false) {"
+      "    var f_image = new Image();"
+      "    do_once = true;"
+      "    f_image.src = 'http://www.example.com/0729395160.jpg';"
+      "    return true;"
+      "  }"
+      "  return false;"
+      "}";
+  ASSERT_TRUE(interp.Run(kScript).ok);
+  EXPECT_TRUE(interp.fetched_urls().empty());  // Nothing until the event.
+
+  const auto first = interp.RunHandler("return f();");
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_TRUE(std::get<bool>(first.value));
+  ASSERT_EQ(interp.fetched_urls().size(), 1u);
+  EXPECT_EQ(interp.fetched_urls()[0], "http://www.example.com/0729395160.jpg");
+
+  // do_once semantics: a second event does not re-fetch.
+  const auto second = interp.RunHandler("return f();");
+  ASSERT_TRUE(second.ok);
+  EXPECT_FALSE(std::get<bool>(second.value));
+  EXPECT_EQ(interp.fetched_urls().size(), 1u);
+}
+
+TEST(JsInterpreterTest, TypeofOperator) {
+  auto interp = Make();
+  EXPECT_EQ(std::get<std::string>(interp.RunHandler("return typeof 1;").value), "number");
+  EXPECT_EQ(std::get<std::string>(interp.RunHandler("return typeof 'x';").value), "string");
+  EXPECT_EQ(std::get<std::string>(interp.RunHandler("return typeof missing;").value),
+            "undefined");
+  EXPECT_EQ(std::get<std::string>(interp.RunHandler("return typeof navigator;").value),
+            "object");
+}
+
+TEST(JsInterpreterTest, LogicalShortCircuit) {
+  auto interp = Make();
+  // The second operand would throw (call of non-function) if evaluated.
+  const auto r = interp.RunHandler("return false && missing();");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(std::get<bool>(r.value));
+}
+
+TEST(JsInterpreterTest, RuntimeErrorsReported) {
+  auto interp = Make();
+  EXPECT_FALSE(interp.RunHandler("return missing();").ok);
+  EXPECT_FALSE(interp.RunHandler("return null.prop;").ok);
+  EXPECT_FALSE(interp.Run("nonobject.x = 1;").ok);
+}
+
+TEST(JsInterpreterTest, ParseErrorsReported) {
+  auto interp = Make();
+  const auto r = interp.Run("var x = ;");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("parse error"), std::string::npos);
+}
+
+TEST(JsInterpreterTest, InfiniteLoopHitsBudget) {
+  JsInterpreter interp(JsInterpreter::Config{"ua", 5000});
+  const auto r = interp.Run("while (true) { var x = 1; }");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+TEST(JsInterpreterTest, HandlerScopeDoesNotLeak) {
+  auto interp = Make();
+  ASSERT_TRUE(interp.RunHandler("var local = 99; return local;").ok);
+  const auto r = interp.RunHandler("return typeof local;");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(std::get<std::string>(r.value), "undefined");
+}
+
+TEST(JsInterpreterTest, ClearObservations) {
+  auto interp = Make();
+  ASSERT_TRUE(interp.Run("var i = new Image(); i.src = 'http://a/b.jpg';").ok);
+  EXPECT_EQ(interp.fetched_urls().size(), 1u);
+  interp.ClearObservations();
+  EXPECT_TRUE(interp.fetched_urls().empty());
+}
+
+TEST(JsInterpreterTest, CompoundAssignment) {
+  auto interp = Make();
+  ASSERT_TRUE(interp.Run("var s = 'a'; s += 'b'; var n = 10; n -= 3; n *= 2;").ok);
+  EXPECT_EQ(std::get<std::string>(interp.RunHandler("return s;").value), "ab");
+  EXPECT_EQ(std::get<double>(interp.RunHandler("return n;").value), 14.0);
+}
+
+TEST(JsInterpreterTest, ForLoops) {
+  auto interp = Make();
+  ASSERT_TRUE(interp.Run("var total = 0; for (var i = 0; i < 5; i = i + 1) { total += i; }")
+                  .ok);
+  EXPECT_EQ(std::get<double>(interp.RunHandler("return total;").value), 10.0);
+  // Init-less and step-less forms.
+  const auto r = interp.RunHandler(
+      "var n = 0; var j = 3; for (; j > 0;) { j = j - 1; n = n + 1; } return n;");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(std::get<double>(r.value), 3.0);
+}
+
+TEST(JsInterpreterTest, ReturnInsideForPropagates) {
+  auto interp = Make();
+  ASSERT_TRUE(interp.Run(
+                  "function find(limit) {"
+                  "  for (var i = 0; i < 100; i = i + 1) {"
+                  "    if (i * i >= limit) { return i; }"
+                  "  }"
+                  "  return -1;"
+                  "}")
+                  .ok);
+  EXPECT_EQ(std::get<double>(interp.RunHandler("return find(26);").value), 6.0);
+}
+
+TEST(JsInterpreterTest, InfiniteForHitsBudget) {
+  JsInterpreter interp(JsInterpreter::Config{"ua", 3000});
+  const auto r = interp.Run("for (;;) { var x = 1; }");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("budget"), std::string::npos);
+}
+
+TEST(JsInterpreterTest, ConditionalExpression) {
+  auto interp = Make();
+  EXPECT_EQ(std::get<double>(interp.RunHandler("return 1 < 2 ? 10 : 20;").value), 10.0);
+  EXPECT_EQ(std::get<double>(interp.RunHandler("return 1 > 2 ? 10 : 20;").value), 20.0);
+}
+
+}  // namespace
+}  // namespace robodet

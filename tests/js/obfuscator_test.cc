@@ -1,0 +1,151 @@
+#include "src/js/obfuscator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/js/interpreter.h"
+
+namespace robodet {
+namespace {
+
+constexpr const char* kBeaconish =
+    "var do_once = false;"
+    "function f() {"
+    "  if (do_once == false) {"
+    "    var img = new Image();"
+    "    do_once = true;"
+    "    img.src = 'http://www.example.com/__rd/bk_0123456789abcdef.jpg';"
+    "    return true;"
+    "  }"
+    "  return false;"
+    "}"
+    "function helper(x) { return x * 2 + 1; }";
+
+TEST(ObfuscatorTest, RenamesUserIdentifiers) {
+  Rng rng(1);
+  ObfuscationOptions options;
+  options.split_strings = false;
+  const auto result = ObfuscateJs(kBeaconish, options, rng);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.source.find("do_once"), std::string::npos);
+  EXPECT_EQ(result.source.find("helper"), std::string::npos);
+  EXPECT_NE(result.RenamedOrSelf("f"), "f");
+}
+
+TEST(ObfuscatorTest, KeepsProtectedAndPropertyNames) {
+  Rng rng(2);
+  ObfuscationOptions options;
+  options.split_strings = false;
+  const auto result = ObfuscateJs(kBeaconish, options, rng);
+  ASSERT_TRUE(result.ok);
+  EXPECT_NE(result.source.find("Image"), std::string::npos);
+  EXPECT_NE(result.source.find(".src"), std::string::npos);
+}
+
+TEST(ObfuscatorTest, RenamingIsConsistent) {
+  Rng rng(3);
+  ObfuscationOptions options;
+  options.split_strings = false;
+  const auto result = ObfuscateJs("var a = 1; var b = a + a; b = b + a;", options, rng);
+  ASSERT_TRUE(result.ok);
+  const std::string renamed_a = result.RenamedOrSelf("a");
+  // Every original occurrence maps to the same fresh name: count them.
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = result.source.find(renamed_a, pos)) != std::string::npos) {
+    ++count;
+    pos += renamed_a.size();
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(ObfuscatorTest, SplitStringsKeepsNoLongLiterals) {
+  Rng rng(4);
+  ObfuscationOptions options;
+  options.rename_identifiers = false;
+  options.split_strings = true;
+  const auto result = ObfuscateJs(kBeaconish, options, rng);
+  ASSERT_TRUE(result.ok);
+  // The full URL must no longer appear verbatim in any single literal.
+  EXPECT_EQ(result.source.find("'http://www.example.com/__rd/bk_0123456789abcdef.jpg'"),
+            std::string::npos);
+  EXPECT_NE(result.source.find("+"), std::string::npos);
+}
+
+TEST(ObfuscatorTest, JunkStatementsInserted) {
+  Rng rng(5);
+  ObfuscationOptions options;
+  options.rename_identifiers = false;
+  options.split_strings = false;
+  options.junk_statements = 5;
+  const auto baseline = ObfuscateJs(kBeaconish, ObfuscationOptions{false, false, 0, 0}, rng);
+  Rng rng2(5);
+  const auto junked = ObfuscateJs(kBeaconish, options, rng2);
+  ASSERT_TRUE(junked.ok);
+  EXPECT_GT(junked.source.size(), baseline.source.size());
+}
+
+TEST(ObfuscatorTest, PadToBytes) {
+  Rng rng(6);
+  ObfuscationOptions options;
+  options.pad_to_bytes = 2048;
+  const auto result = ObfuscateJs(kBeaconish, options, rng);
+  ASSERT_TRUE(result.ok);
+  EXPECT_GE(result.source.size(), 2048u);
+}
+
+TEST(ObfuscatorTest, LexErrorPropagates) {
+  Rng rng(7);
+  const auto result = ObfuscateJs("var s = 'unterminated", ObfuscationOptions{}, rng);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+// The core property: obfuscation preserves observable behaviour. We run
+// the same program before and after obfuscation (handler included, with
+// its name remapped) and require identical fetch/write observations.
+struct ObfCase {
+  int seed;
+  bool rename;
+  bool split;
+  int junk;
+};
+
+class ObfuscationSemanticsTest : public ::testing::TestWithParam<ObfCase> {};
+
+TEST_P(ObfuscationSemanticsTest, BehaviourInvariant) {
+  const ObfCase& param = GetParam();
+  Rng rng(static_cast<uint64_t>(param.seed));
+  ObfuscationOptions options;
+  options.rename_identifiers = param.rename;
+  options.split_strings = param.split;
+  options.junk_statements = param.junk;
+  const auto obf = ObfuscateJs(kBeaconish, options, rng);
+  ASSERT_TRUE(obf.ok) << obf.error;
+
+  JsInterpreter plain(JsInterpreter::Config{"ua", 300000});
+  ASSERT_TRUE(plain.Run(kBeaconish).ok);
+  ASSERT_TRUE(plain.RunHandler("return f();").ok);
+
+  JsInterpreter obfd(JsInterpreter::Config{"ua", 300000});
+  const auto run = obfd.Run(obf.source);
+  ASSERT_TRUE(run.ok) << run.error << "\n" << obf.source;
+  const std::string handler = "return " + obf.RenamedOrSelf("f") + "();";
+  const auto hr = obfd.RunHandler(handler);
+  ASSERT_TRUE(hr.ok) << hr.error;
+
+  EXPECT_EQ(plain.fetched_urls(), obfd.fetched_urls());
+  EXPECT_EQ(plain.document_writes(), obfd.document_writes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ObfuscationSemanticsTest,
+                         ::testing::Values(ObfCase{1, true, false, 0},
+                                           ObfCase{2, false, true, 0},
+                                           ObfCase{3, true, true, 0},
+                                           ObfCase{4, true, true, 4},
+                                           ObfCase{5, true, true, 8},
+                                           ObfCase{6, true, true, 16},
+                                           ObfCase{7, false, false, 8},
+                                           ObfCase{8, true, false, 2}));
+
+}  // namespace
+}  // namespace robodet

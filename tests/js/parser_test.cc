@@ -1,0 +1,160 @@
+#include "src/js/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace robodet {
+namespace {
+
+TEST(JsParserTest, VarDeclaration) {
+  const auto result = ParseJs("var x = 5;");
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(result.program->statements.size(), 1u);
+  const JsStmt& stmt = *result.program->statements[0];
+  EXPECT_EQ(stmt.kind, JsStmtKind::kVar);
+  EXPECT_EQ(stmt.name, "x");
+  ASSERT_NE(stmt.expr, nullptr);
+  EXPECT_EQ(stmt.expr->kind, JsExprKind::kNumber);
+}
+
+TEST(JsParserTest, VarWithoutInit) {
+  const auto result = ParseJs("var y;");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.program->statements[0]->expr, nullptr);
+}
+
+TEST(JsParserTest, FunctionDeclaration) {
+  const auto result = ParseJs("function f(a, b) { return a + b; }");
+  ASSERT_TRUE(result.ok) << result.error;
+  const JsStmt& fn = *result.program->statements[0];
+  EXPECT_EQ(fn.kind, JsStmtKind::kFunction);
+  EXPECT_EQ(fn.name, "f");
+  EXPECT_EQ(fn.params, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(fn.body.size(), 1u);
+  EXPECT_EQ(fn.body[0]->kind, JsStmtKind::kReturn);
+}
+
+TEST(JsParserTest, IfElse) {
+  const auto result = ParseJs("if (x == 1) { a(); } else { b(); }");
+  ASSERT_TRUE(result.ok) << result.error;
+  const JsStmt& stmt = *result.program->statements[0];
+  EXPECT_EQ(stmt.kind, JsStmtKind::kIf);
+  EXPECT_EQ(stmt.body.size(), 1u);
+  EXPECT_EQ(stmt.else_body.size(), 1u);
+}
+
+TEST(JsParserTest, IfWithoutBraces) {
+  const auto result = ParseJs("if (x) a(); else b();");
+  ASSERT_TRUE(result.ok) << result.error;
+  const JsStmt& stmt = *result.program->statements[0];
+  EXPECT_EQ(stmt.body.size(), 1u);
+  EXPECT_EQ(stmt.else_body.size(), 1u);
+}
+
+TEST(JsParserTest, WhileLoop) {
+  const auto result = ParseJs("while (i < 10) { i = i + 1; }");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.program->statements[0]->kind, JsStmtKind::kWhile);
+}
+
+TEST(JsParserTest, PrecedenceMultiplicationBeforeAddition) {
+  const auto result = ParseJs("x = 1 + 2 * 3;");
+  ASSERT_TRUE(result.ok);
+  const JsExpr& assign = *result.program->statements[0]->expr;
+  ASSERT_EQ(assign.kind, JsExprKind::kAssign);
+  const JsExpr& sum = *assign.children[1];
+  EXPECT_EQ(sum.op, "+");
+  EXPECT_EQ(sum.children[1]->op, "*");
+}
+
+TEST(JsParserTest, MemberAndCallChain) {
+  const auto result = ParseJs("navigator.userAgent.toLowerCase();");
+  ASSERT_TRUE(result.ok) << result.error;
+  const JsExpr& call = *result.program->statements[0]->expr;
+  ASSERT_EQ(call.kind, JsExprKind::kCall);
+  const JsExpr& member = *call.children[0];
+  EXPECT_EQ(member.kind, JsExprKind::kMember);
+  EXPECT_EQ(member.name, "toLowerCase");
+}
+
+TEST(JsParserTest, NewExpression) {
+  const auto result = ParseJs("var i = new Image();");
+  ASSERT_TRUE(result.ok) << result.error;
+  const JsExpr& init = *result.program->statements[0]->expr;
+  EXPECT_EQ(init.kind, JsExprKind::kNew);
+  EXPECT_EQ(init.name, "Image");
+}
+
+TEST(JsParserTest, NewWithoutParens) {
+  const auto result = ParseJs("var i = new Image;");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.program->statements[0]->expr->kind, JsExprKind::kNew);
+}
+
+TEST(JsParserTest, MemberAssignment) {
+  const auto result = ParseJs("img.src = 'http://x/y.jpg';");
+  ASSERT_TRUE(result.ok) << result.error;
+  const JsExpr& assign = *result.program->statements[0]->expr;
+  EXPECT_EQ(assign.kind, JsExprKind::kAssign);
+  EXPECT_EQ(assign.children[0]->kind, JsExprKind::kMember);
+  EXPECT_EQ(assign.children[0]->name, "src");
+}
+
+TEST(JsParserTest, ConditionalExpression) {
+  const auto result = ParseJs("x = a ? 1 : 2;");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.program->statements[0]->expr->children[1]->kind,
+            JsExprKind::kConditional);
+}
+
+TEST(JsParserTest, LogicalShortCircuitShape) {
+  const auto result = ParseJs("x = a && b || c;");
+  ASSERT_TRUE(result.ok);
+  const JsExpr& rhs = *result.program->statements[0]->expr->children[1];
+  EXPECT_EQ(rhs.kind, JsExprKind::kLogical);
+  EXPECT_EQ(rhs.op, "||");
+  EXPECT_EQ(rhs.children[0]->op, "&&");
+}
+
+TEST(JsParserTest, ErrorsReported) {
+  EXPECT_FALSE(ParseJs("var = 5;").ok);
+  EXPECT_FALSE(ParseJs("function () {}").ok);
+  EXPECT_FALSE(ParseJs("if (x {").ok);
+  EXPECT_FALSE(ParseJs("x = ;").ok);
+  EXPECT_FALSE(ParseJs("1 = 2;").ok);
+  EXPECT_FALSE(ParseJs("f(,);").ok);
+}
+
+TEST(JsParserTest, EmptyProgram) {
+  const auto result = ParseJs("");
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(result.program->statements.empty());
+}
+
+TEST(JsParserTest, EmptyStatements) {
+  const auto result = ParseJs(";;;");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.program->statements.size(), 3u);
+}
+
+TEST(JsParserTest, Figure1Shape) {
+  // The paper's Figure 1 script (modulo regex, which our dialect replaces).
+  const char* kScript = R"(
+    var do_once = false;
+    function f()
+    {
+      if (do_once == false) {
+        var f_image = new Image();
+        do_once = true;
+        f_image.src = 'http://www.example.com/0729395160.jpg';
+        return true;
+      }
+      return false;
+    }
+  )";
+  const auto result = ParseJs(kScript);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.program->statements.size(), 2u);
+}
+
+}  // namespace
+}  // namespace robodet

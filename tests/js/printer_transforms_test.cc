@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "src/js/generator.h"
+#include "src/js/interpreter.h"
+#include "src/js/parser.h"
+#include "src/js/printer.h"
+#include "src/js/transforms.h"
+
+namespace robodet {
+namespace {
+
+constexpr const char* kProgram =
+    "var do_once = false;"
+    "function f(x) {"
+    "  if (do_once == false) {"
+    "    var img = new Image();"
+    "    do_once = true;"
+    "    img.src = 'http://e.com/__rd/bk_abc.jpg';"
+    "    return x * 2 + 1;"
+    "  }"
+    "  while (x > 0) { x = x - 1; }"
+    "  return x >= 0 ? -1 : typeof x;"
+    "}";
+
+TEST(PrinterTest, RoundTripPreservesBehaviour) {
+  const JsParseResult parsed = ParseJs(kProgram);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const std::string printed = PrintJs(*parsed.program);
+
+  JsInterpreter original(JsInterpreter::Config{"ua", 100000});
+  ASSERT_TRUE(original.Run(kProgram).ok);
+  const auto r1 = original.RunHandler("return f(3);");
+  ASSERT_TRUE(r1.ok) << r1.error;
+
+  JsInterpreter reprinted(JsInterpreter::Config{"ua", 100000});
+  const auto run = reprinted.Run(printed);
+  ASSERT_TRUE(run.ok) << run.error << "\n" << printed;
+  const auto r2 = reprinted.RunHandler("return f(3);");
+  ASSERT_TRUE(r2.ok) << r2.error;
+
+  EXPECT_EQ(std::get<double>(r1.value), std::get<double>(r2.value));
+  EXPECT_EQ(original.fetched_urls(), reprinted.fetched_urls());
+}
+
+TEST(PrinterTest, PrintIsAFixedPointAfterOneRound) {
+  const JsParseResult parsed = ParseJs(kProgram);
+  ASSERT_TRUE(parsed.ok);
+  const std::string once = PrintJs(*parsed.program);
+  const JsParseResult reparsed = ParseJs(once);
+  ASSERT_TRUE(reparsed.ok) << reparsed.error << "\n" << once;
+  EXPECT_EQ(once, PrintJs(*reparsed.program));
+}
+
+TEST(PrinterTest, StringEscapes) {
+  const JsParseResult parsed = ParseJs("var s = 'a\\'b\\\\c\\nd';");
+  ASSERT_TRUE(parsed.ok);
+  const std::string printed = PrintJs(*parsed.program);
+  const JsParseResult again = ParseJs(printed);
+  ASSERT_TRUE(again.ok) << printed;
+  EXPECT_EQ(again.program->statements[0]->expr->string_value, "a'b\\c\nd");
+}
+
+TEST(TransformsTest, OpaquePredicatesPreserveBehaviour) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    const TransformResult transformed = ApplyOpaquePredicates(kProgram, 6, rng);
+    ASSERT_TRUE(transformed.ok) << transformed.error;
+    EXPECT_NE(transformed.source, kProgram);
+    EXPECT_NE(transformed.source.find("% 2"), std::string::npos);  // Predicates present.
+
+    JsInterpreter original(JsInterpreter::Config{"ua", 300000});
+    ASSERT_TRUE(original.Run(kProgram).ok);
+    ASSERT_TRUE(original.RunHandler("return f(5);").ok);
+
+    JsInterpreter obfuscated(JsInterpreter::Config{"ua", 300000});
+    const auto run = obfuscated.Run(transformed.source);
+    ASSERT_TRUE(run.ok) << run.error << "\n" << transformed.source;
+    const auto r = obfuscated.RunHandler("return f(5);");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(original.fetched_urls(), obfuscated.fetched_urls()) << transformed.source;
+  }
+}
+
+TEST(TransformsTest, ParseErrorPropagates) {
+  Rng rng(1);
+  const TransformResult result = ApplyOpaquePredicates("var x = ;", 3, rng);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(TransformsTest, ZeroCountIsIdentityModuloPrinting) {
+  Rng rng(2);
+  const TransformResult result = ApplyOpaquePredicates(kProgram, 0, rng);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.source.find("% 2"), std::string::npos);
+}
+
+TEST(Level4BeaconTest, HandlerStillFetchesExactlyTheRealUrl) {
+  BeaconSpec spec;
+  spec.host = "www.example.com";
+  spec.path_prefix = "/__rd/";
+  spec.real_key = "00aa";
+  spec.decoy_keys = {"11bb", "22cc", "33dd"};
+  spec.obfuscation_level = 4;
+  spec.pad_to_bytes = 1024;
+  for (uint64_t seed = 50; seed < 58; ++seed) {
+    Rng rng(seed);
+    const GeneratedBeacon beacon = GenerateBeaconScript(spec, rng);
+    JsInterpreter interp(JsInterpreter::Config{"ua", 500000});
+    const auto run = interp.Run(beacon.script_source);
+    ASSERT_TRUE(run.ok) << run.error;
+    const auto handler = interp.RunHandler(beacon.handler_code);
+    ASSERT_TRUE(handler.ok) << handler.error;
+    ASSERT_EQ(interp.fetched_urls().size(), 1u);
+    EXPECT_EQ(interp.fetched_urls()[0], beacon.real_url);
+  }
+}
+
+TEST(TransformsTest, CharCodeEncodingPreservesBehaviour) {
+  Rng rng(1);
+  const TransformResult encoded = EncodeStringsAsCharCodes(kProgram, rng);
+  ASSERT_TRUE(encoded.ok) << encoded.error;
+  // The URL no longer appears anywhere in the source.
+  EXPECT_EQ(encoded.source.find("bk_abc"), std::string::npos);
+  EXPECT_EQ(encoded.source.find("http"), std::string::npos);
+  EXPECT_NE(encoded.source.find("String.fromCharCode"), std::string::npos);
+
+  JsInterpreter original(JsInterpreter::Config{"ua", 300000});
+  ASSERT_TRUE(original.Run(kProgram).ok);
+  ASSERT_TRUE(original.RunHandler("return f(1);").ok);
+  JsInterpreter obfuscated(JsInterpreter::Config{"ua", 300000});
+  const auto run = obfuscated.Run(encoded.source);
+  ASSERT_TRUE(run.ok) << run.error << "\n" << encoded.source;
+  ASSERT_TRUE(obfuscated.RunHandler("return f(1);").ok);
+  EXPECT_EQ(original.fetched_urls(), obfuscated.fetched_urls());
+}
+
+TEST(TransformsTest, FromCharCodeHostFunction) {
+  JsInterpreter interp(JsInterpreter::Config{"ua", 100000});
+  const auto r = interp.RunHandler("return String.fromCharCode(104, 105);");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(std::get<std::string>(r.value), "hi");
+}
+
+TEST(Level5BeaconTest, UrlsInvisibleToScrapersYetHandlerWorks) {
+  BeaconSpec spec;
+  spec.host = "www.example.com";
+  spec.path_prefix = "/__rd/";
+  spec.real_key = "00aa11bb";
+  spec.decoy_keys = {"22cc", "33dd", "44ee"};
+  spec.obfuscation_level = 5;
+  spec.pad_to_bytes = 1024;
+  for (uint64_t seed = 70; seed < 76; ++seed) {
+    Rng rng(seed);
+    const GeneratedBeacon beacon = GenerateBeaconScript(spec, rng);
+    // Nothing URL-shaped survives in the source.
+    EXPECT_EQ(beacon.script_source.find("http"), std::string::npos);
+    EXPECT_EQ(beacon.script_source.find("bk_"), std::string::npos);
+    // Yet execution still fetches exactly the real beacon.
+    JsInterpreter interp(JsInterpreter::Config{"ua", 500000});
+    const auto run = interp.Run(beacon.script_source);
+    ASSERT_TRUE(run.ok) << run.error;
+    const auto handler = interp.RunHandler(beacon.handler_code);
+    ASSERT_TRUE(handler.ok) << handler.error;
+    ASSERT_EQ(interp.fetched_urls().size(), 1u);
+    EXPECT_EQ(interp.fetched_urls()[0], beacon.real_url);
+  }
+}
+
+}  // namespace
+}  // namespace robodet

@@ -1,0 +1,110 @@
+#include "src/ml/features.h"
+
+#include <gtest/gtest.h>
+
+namespace robodet {
+namespace {
+
+RequestEvent Html() {
+  RequestEvent e;
+  e.kind = ResourceKind::kHtml;
+  return e;
+}
+
+RequestEvent Image() {
+  RequestEvent e;
+  e.kind = ResourceKind::kImage;
+  return e;
+}
+
+TEST(FeaturesTest, EmptyEventsAllZero) {
+  const FeatureVector v = ExtractFeatures({});
+  for (double f : v) {
+    EXPECT_EQ(f, 0.0);
+  }
+}
+
+TEST(FeaturesTest, FractionsComputed) {
+  std::vector<RequestEvent> events;
+  events.push_back(Html());
+  events.push_back(Html());
+  events.push_back(Image());
+  RequestEvent cgi;
+  cgi.kind = ResourceKind::kCgi;
+  events.push_back(cgi);
+  const FeatureVector v = ExtractFeatures(events);
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kHtmlPct)], 0.5);
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kImagePct)], 0.25);
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kCgiPct)], 0.25);
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kHeadPct)], 0.0);
+}
+
+TEST(FeaturesTest, FaviconCountsAsImageAndFavicon) {
+  RequestEvent fav;
+  fav.kind = ResourceKind::kFavicon;
+  fav.is_favicon = true;
+  const FeatureVector v = ExtractFeatures({fav});
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kImagePct)], 1.0);
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kFaviconPct)], 1.0);
+}
+
+TEST(FeaturesTest, ReferrerFeatures) {
+  RequestEvent with_ref = Html();
+  with_ref.has_referrer = true;
+  RequestEvent unseen = Html();
+  unseen.has_referrer = true;
+  unseen.unseen_referrer = true;
+  const FeatureVector v = ExtractFeatures({with_ref, unseen, Html(), Html()});
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kReferrerPct)], 0.5);
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kUnseenReferrerPct)], 0.25);
+}
+
+TEST(FeaturesTest, StatusClasses) {
+  RequestEvent ok = Html();
+  RequestEvent redirect = Html();
+  redirect.status_class = 3;
+  RequestEvent missing = Html();
+  missing.status_class = 4;
+  const FeatureVector v = ExtractFeatures({ok, redirect, missing, missing});
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kResp2xxPct)], 0.25);
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kResp3xxPct)], 0.25);
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kResp4xxPct)], 0.5);
+}
+
+TEST(FeaturesTest, FirstNLimitsWindow) {
+  std::vector<RequestEvent> events;
+  events.push_back(Html());
+  events.push_back(Html());
+  for (int i = 0; i < 8; ++i) {
+    events.push_back(Image());
+  }
+  const FeatureVector first2 = ExtractFeatures(events, 2);
+  EXPECT_DOUBLE_EQ(first2[static_cast<size_t>(FeatureId::kHtmlPct)], 1.0);
+  const FeatureVector all = ExtractFeatures(events, 0);
+  EXPECT_DOUBLE_EQ(all[static_cast<size_t>(FeatureId::kHtmlPct)], 0.2);
+  const FeatureVector beyond = ExtractFeatures(events, 100);
+  EXPECT_DOUBLE_EQ(beyond[static_cast<size_t>(FeatureId::kHtmlPct)], 0.2);
+}
+
+TEST(FeaturesTest, EmbeddedAndLinkFollow) {
+  RequestEvent embedded = Image();
+  embedded.is_embedded = true;
+  RequestEvent link = Html();
+  link.is_link_follow = true;
+  const FeatureVector v = ExtractFeatures({embedded, link});
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kEmbeddedObjPct)], 0.5);
+  EXPECT_DOUBLE_EQ(v[static_cast<size_t>(FeatureId::kLinkFollowingPct)], 0.5);
+}
+
+TEST(FeaturesTest, NamesAreDistinctAndIndexed) {
+  std::set<std::string_view> names;
+  for (size_t i = 0; i < kNumFeatures; ++i) {
+    names.insert(FeatureName(i));
+  }
+  EXPECT_EQ(names.size(), kNumFeatures);
+  EXPECT_EQ(FeatureName(static_cast<size_t>(FeatureId::kResp3xxPct)), "RESPCODE 3XX %");
+  EXPECT_EQ(FeatureName(999), "?");
+}
+
+}  // namespace
+}  // namespace robodet

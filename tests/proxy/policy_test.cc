@@ -1,0 +1,113 @@
+#include "src/proxy/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace robodet {
+namespace {
+
+SessionState MakeSession(TimeMs start = 0) {
+  return SessionState(1, SessionKey{IpAddress(1), "ua"}, start);
+}
+
+void AddRequests(SessionState& session, int cgi, int get, int errors, TimeMs spacing) {
+  TimeMs t = session.first_request_time();
+  RequestEvent cgi_ev;
+  cgi_ev.kind = ResourceKind::kCgi;
+  RequestEvent get_ev;
+  RequestEvent err_ev;
+  err_ev.status_class = 4;
+  for (int i = 0; i < cgi; ++i) {
+    session.RecordRequest(t += spacing, cgi_ev);
+  }
+  for (int i = 0; i < get; ++i) {
+    session.RecordRequest(t += spacing, get_ev);
+  }
+  for (int i = 0; i < errors; ++i) {
+    session.RecordRequest(t += spacing, err_ev);
+  }
+}
+
+PolicyConfig StrictConfig() {
+  PolicyConfig config;
+  config.max_cgi_per_minute = 10.0;
+  config.max_get_per_minute = 100.0;
+  config.max_error_responses = 5;
+  config.min_observation = kMinute;
+  return config;
+}
+
+TEST(PolicyTest, HumansNeverBlocked) {
+  PolicyEngine policy(StrictConfig());
+  SessionState session = MakeSession();
+  AddRequests(session, 1000, 1000, 1000, 10);
+  EXPECT_EQ(policy.Evaluate(session, Verdict::kHuman, 10 * kMinute), PolicyAction::kAllow);
+  EXPECT_EQ(policy.Evaluate(session, Verdict::kUnknown, 10 * kMinute), PolicyAction::kAllow);
+}
+
+TEST(PolicyTest, CalmRobotAllowed) {
+  PolicyEngine policy(StrictConfig());
+  SessionState session = MakeSession();
+  // 5 CGI requests over 5 minutes: 1/min, under the threshold.
+  AddRequests(session, 5, 10, 0, kMinute / 3);
+  EXPECT_EQ(policy.Evaluate(session, Verdict::kRobot, session.last_request_time()),
+            PolicyAction::kAllow);
+}
+
+TEST(PolicyTest, CgiFloodBlocked) {
+  PolicyEngine policy(StrictConfig());
+  SessionState session = MakeSession();
+  AddRequests(session, 100, 0, 0, kSecond);  // 60 cgi/min over ~100s.
+  EXPECT_EQ(policy.Evaluate(session, Verdict::kRobot, session.last_request_time()),
+            PolicyAction::kBlock);
+  EXPECT_TRUE(session.blocked());
+  EXPECT_EQ(policy.blocked_sessions(), 1u);
+}
+
+TEST(PolicyTest, GetFloodBlocked) {
+  PolicyEngine policy(StrictConfig());
+  SessionState session = MakeSession();
+  AddRequests(session, 0, 600, 0, 200);  // 300 get/min.
+  EXPECT_EQ(policy.Evaluate(session, Verdict::kRobot, session.last_request_time()),
+            PolicyAction::kBlock);
+}
+
+TEST(PolicyTest, ErrorCountBlocked) {
+  PolicyEngine policy(StrictConfig());
+  SessionState session = MakeSession();
+  AddRequests(session, 0, 2, 20, 10 * kSecond);  // Slow but error-heavy.
+  EXPECT_EQ(policy.Evaluate(session, Verdict::kRobot, session.last_request_time()),
+            PolicyAction::kBlock);
+}
+
+TEST(PolicyTest, MinObservationGraceWindow) {
+  PolicyEngine policy(StrictConfig());
+  SessionState session = MakeSession();
+  AddRequests(session, 20, 0, 0, 100);  // Violent burst but only 2s old.
+  EXPECT_EQ(policy.Evaluate(session, Verdict::kRobot, session.last_request_time()),
+            PolicyAction::kAllow);
+}
+
+TEST(PolicyTest, BlockLatches) {
+  PolicyEngine policy(StrictConfig());
+  SessionState session = MakeSession();
+  AddRequests(session, 100, 0, 0, kSecond);
+  ASSERT_EQ(policy.Evaluate(session, Verdict::kRobot, session.last_request_time()),
+            PolicyAction::kBlock);
+  // Even if the verdict later softens, the block stays.
+  EXPECT_EQ(policy.Evaluate(session, Verdict::kUnknown, session.last_request_time() + kHour),
+            PolicyAction::kBlock);
+  EXPECT_EQ(policy.blocked_requests(), 2u);
+}
+
+TEST(PolicyTest, EnforcementToggle) {
+  PolicyConfig config = StrictConfig();
+  config.enforce = false;
+  PolicyEngine policy(config);
+  SessionState session = MakeSession();
+  AddRequests(session, 1000, 0, 0, kSecond);
+  EXPECT_EQ(policy.Evaluate(session, Verdict::kRobot, session.last_request_time()),
+            PolicyAction::kAllow);
+}
+
+}  // namespace
+}  // namespace robodet

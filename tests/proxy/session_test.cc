@@ -1,0 +1,100 @@
+#include "src/proxy/session.h"
+
+#include <gtest/gtest.h>
+
+namespace robodet {
+namespace {
+
+SessionKey Key() { return SessionKey{IpAddress(42), "UA/1.0"}; }
+
+TEST(SessionStateTest, RecordRequestIncrementsAndTimestamps) {
+  SessionState s(1, Key(), 1000);
+  RequestEvent ev;
+  EXPECT_EQ(s.RecordRequest(2000, ev), 1);
+  EXPECT_EQ(s.RecordRequest(3000, ev), 2);
+  EXPECT_EQ(s.request_count(), 2);
+  EXPECT_EQ(s.first_request_time(), 1000);
+  EXPECT_EQ(s.last_request_time(), 3000);
+}
+
+TEST(SessionStateTest, LastRequestNeverMovesBackwards) {
+  SessionState s(1, Key(), 1000);
+  RequestEvent ev;
+  s.RecordRequest(5000, ev);
+  s.RecordRequest(2000, ev);
+  EXPECT_EQ(s.last_request_time(), 5000);
+}
+
+TEST(SessionStateTest, CountersByKind) {
+  SessionState s(1, Key(), 0);
+  RequestEvent cgi;
+  cgi.kind = ResourceKind::kCgi;
+  RequestEvent head;
+  head.is_head = true;
+  RequestEvent err;
+  err.status_class = 4;
+  s.RecordRequest(1, cgi);
+  s.RecordRequest(2, head);
+  s.RecordRequest(3, err);
+  EXPECT_EQ(s.cgi_requests(), 1);
+  EXPECT_EQ(s.get_requests(), 2);  // head excluded.
+  EXPECT_EQ(s.error_responses(), 1);
+}
+
+TEST(SessionStateTest, EventStorageIsBounded) {
+  SessionState s(1, Key(), 0);
+  RequestEvent ev;
+  for (int i = 0; i < 1000; ++i) {
+    s.RecordRequest(i, ev);
+  }
+  EXPECT_EQ(s.request_count(), 1000);
+  EXPECT_EQ(s.events().size(), SessionState::kMaxTrackedEvents);
+}
+
+TEST(SessionStateTest, MarkSignalOnlyFirst) {
+  int slot = 0;
+  SessionState::MarkSignal(slot, 5);
+  SessionState::MarkSignal(slot, 9);
+  EXPECT_EQ(slot, 5);
+}
+
+TEST(SessionStateTest, InstrumentedPageCounter) {
+  SessionState s(1, Key(), 0);
+  EXPECT_EQ(s.instrumented_pages(), 0);
+  s.NoteInstrumentedPage();
+  s.NoteInstrumentedPage();
+  EXPECT_EQ(s.instrumented_pages(), 2);
+}
+
+TEST(UrlHashSetTest, InsertAndContains) {
+  UrlHashSet set(10);
+  set.Insert("http://a.com/x");
+  EXPECT_TRUE(set.Contains("http://a.com/x"));
+  EXPECT_FALSE(set.Contains("http://a.com/y"));
+}
+
+TEST(UrlHashSetTest, CapacityBound) {
+  UrlHashSet set(3);
+  for (int i = 0; i < 10; ++i) {
+    set.Insert("url" + std::to_string(i));
+  }
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.Contains("url0"));
+  EXPECT_FALSE(set.Contains("url9"));  // Dropped once full.
+}
+
+TEST(SessionKeyTest, EqualityAndHash) {
+  const SessionKey a{IpAddress(1), "ua"};
+  const SessionKey b{IpAddress(1), "ua"};
+  const SessionKey c{IpAddress(2), "ua"};
+  const SessionKey d{IpAddress(1), "other"};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  SessionKeyHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));
+}
+
+}  // namespace
+}  // namespace robodet

@@ -1,0 +1,71 @@
+#include "src/proxy/token_minter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace robodet {
+namespace {
+
+TEST(TokenMinterTest, MintedTokensValidate) {
+  Rng rng(1);
+  TokenMinter minter(0x5ec7e7, &rng);
+  for (int i = 0; i < 100; ++i) {
+    const std::string token = minter.Mint();
+    EXPECT_EQ(token.size(), 24u);
+    EXPECT_TRUE(minter.Validate(token)) << token;
+  }
+}
+
+TEST(TokenMinterTest, TokensAreUnique) {
+  Rng rng(2);
+  TokenMinter minter(7, &rng);
+  std::set<std::string> tokens;
+  for (int i = 0; i < 1000; ++i) {
+    tokens.insert(minter.Mint());
+  }
+  EXPECT_EQ(tokens.size(), 1000u);
+}
+
+TEST(TokenMinterTest, TamperedTokensRejected) {
+  Rng rng(3);
+  TokenMinter minter(7, &rng);
+  std::string token = minter.Mint();
+  std::string flipped = token;
+  flipped[0] = flipped[0] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(minter.Validate(flipped));
+  std::string flipped_mac = token;
+  flipped_mac[20] = flipped_mac[20] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(minter.Validate(flipped_mac));
+}
+
+TEST(TokenMinterTest, MalformedTokensRejected) {
+  Rng rng(4);
+  TokenMinter minter(7, &rng);
+  EXPECT_FALSE(minter.Validate(""));
+  EXPECT_FALSE(minter.Validate("short"));
+  EXPECT_FALSE(minter.Validate(std::string(24, 'X')));  // Uppercase.
+  EXPECT_FALSE(minter.Validate(std::string(25, 'a')));  // Too long.
+  EXPECT_FALSE(minter.Validate(std::string(24, 'g')));  // Not hex.
+}
+
+TEST(TokenMinterTest, DifferentSecretsRejectEachOther) {
+  Rng rng1(5);
+  Rng rng2(5);
+  TokenMinter a(100, &rng1);
+  TokenMinter b(200, &rng2);
+  const std::string token = a.Mint();
+  EXPECT_TRUE(a.Validate(token));
+  EXPECT_FALSE(b.Validate(token));
+}
+
+TEST(TokenMinterTest, SeedForIsStable) {
+  Rng rng(6);
+  TokenMinter minter(7, &rng);
+  const std::string token = minter.Mint();
+  EXPECT_EQ(minter.SeedFor(token), minter.SeedFor(token));
+  EXPECT_NE(minter.SeedFor(token), minter.SeedFor(minter.Mint()));
+}
+
+}  // namespace
+}  // namespace robodet

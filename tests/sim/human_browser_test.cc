@@ -1,0 +1,122 @@
+#include "src/sim/human_browser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/sim/sim_test_util.h"
+
+namespace robodet {
+namespace {
+
+ClientIdentity HumanIdentity(const BrowserProfile& profile, uint32_t ip = 1) {
+  ClientIdentity id;
+  id.ip = IpAddress(ip);
+  id.user_agent = profile.user_agent;
+  id.is_human = true;
+  id.type_name = "human";
+  return id;
+}
+
+HumanConfig FastHuman() {
+  HumanConfig config;
+  config.min_pages = 5;
+  config.max_pages = 8;
+  config.mouse_move_prob = 1.0;
+  config.think_time_mean = 200;
+  config.subfetch_delay = 5;
+  config.favicon_cold_cache_prob = 1.0;  // Deterministic for these tests.
+  return config;
+}
+
+TEST(HumanBrowserTest, JsEnabledHumanProducesAllHumanSignals) {
+  SimRig rig;
+  BrowserProfile profile = StandardBrowserProfiles()[1];  // Firefox, JS on.
+  HumanBrowserClient client(HumanIdentity(profile), Rng(5), &rig.site, profile, FastHuman());
+  rig.RunToCompletion(client);
+
+  const SessionSignals& sig = rig.SessionFor(client)->signals();
+  EXPECT_GT(sig.css_probe_at, 0);
+  EXPECT_GT(sig.js_download_at, 0);
+  EXPECT_GT(sig.js_executed_at, 0);
+  EXPECT_GT(sig.mouse_event_at, 0);
+  EXPECT_EQ(sig.wrong_key_at, 0);
+  EXPECT_EQ(sig.hidden_link_at, 0);   // Humans never see hidden links.
+  EXPECT_EQ(sig.ua_mismatch_at, 0);   // Honest UA.
+  EXPECT_GT(client.stats().requests, 10u);
+}
+
+TEST(HumanBrowserTest, JsDisabledHumanFetchesCssOnly) {
+  SimRig rig;
+  BrowserProfile profile = StandardBrowserProfiles()[0];
+  profile.js_enabled = false;
+  HumanBrowserClient client(HumanIdentity(profile), Rng(6), &rig.site, profile, FastHuman());
+  rig.RunToCompletion(client);
+
+  const SessionSignals& sig = rig.SessionFor(client)->signals();
+  EXPECT_GT(sig.css_probe_at, 0);
+  EXPECT_EQ(sig.js_download_at, 0);
+  EXPECT_EQ(sig.js_executed_at, 0);
+  EXPECT_EQ(sig.mouse_event_at, 0);
+}
+
+TEST(HumanBrowserTest, NoMouseUserExecutesJsButNoBeacon) {
+  SimRig rig;
+  BrowserProfile profile = StandardBrowserProfiles()[1];
+  HumanConfig config = FastHuman();
+  config.mouse_move_prob = 0.0;
+  HumanBrowserClient client(HumanIdentity(profile), Rng(7), &rig.site, profile, config);
+  rig.RunToCompletion(client);
+
+  const SessionSignals& sig = rig.SessionFor(client)->signals();
+  EXPECT_GT(sig.js_executed_at, 0);
+  EXPECT_EQ(sig.mouse_event_at, 0);
+}
+
+TEST(HumanBrowserTest, MouseSignalRequiresCorrectKeyNoWrongKeys) {
+  SimRig rig;
+  BrowserProfile profile = StandardBrowserProfiles()[2];
+  HumanBrowserClient client(HumanIdentity(profile), Rng(8), &rig.site, profile, FastHuman());
+  rig.RunToCompletion(client);
+  EXPECT_GT(rig.proxy->stats().beacon_hits_ok, 0u);
+  EXPECT_EQ(rig.proxy->stats().beacon_hits_wrong, 0u);
+}
+
+TEST(HumanBrowserTest, FetchesFaviconOnce) {
+  SimRig rig;
+  BrowserProfile profile = StandardBrowserProfiles()[1];
+  HumanBrowserClient client(HumanIdentity(profile), Rng(9), &rig.site, profile, FastHuman());
+  rig.RunToCompletion(client);
+  // The favicon request appears exactly once in the session's events.
+  int favicons = 0;
+  for (const RequestEvent& e : rig.SessionFor(client)->events()) {
+    favicons += e.is_favicon ? 1 : 0;
+  }
+  EXPECT_EQ(favicons, 1);
+}
+
+TEST(HumanBrowserTest, AttemptsCaptchaWhenOffered) {
+  SimRig rig;
+  rig.proxy->EnableCaptcha(true);
+  BrowserProfile profile = StandardBrowserProfiles()[1];
+  HumanConfig config = FastHuman();
+  config.captcha_attempt_prob = 1.0;
+  HumanBrowserClient client(HumanIdentity(profile), Rng(10), &rig.site, profile, config);
+  rig.RunToCompletion(client);
+  EXPECT_GT(rig.SessionFor(client)->signals().captcha_passed_at, 0);
+  EXPECT_EQ(rig.proxy->stats().captcha_failures, 0u);
+}
+
+TEST(HumanBrowserTest, MultipleBrowserProfilesAllBehave) {
+  for (size_t p = 0; p < StandardBrowserProfiles().size(); ++p) {
+    SimRig rig(100 + p);
+    BrowserProfile profile = StandardBrowserProfiles()[p];
+    HumanBrowserClient client(HumanIdentity(profile, 50 + static_cast<uint32_t>(p)),
+                              Rng(11 + p), &rig.site, profile, FastHuman());
+    rig.RunToCompletion(client);
+    const SessionSignals& sig = rig.SessionFor(client)->signals();
+    EXPECT_GT(sig.css_probe_at, 0) << profile.name;
+    EXPECT_GT(sig.mouse_event_at, 0) << profile.name;
+  }
+}
+
+}  // namespace
+}  // namespace robodet

@@ -1,0 +1,121 @@
+#include "src/site/site_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/html/document.h"
+#include "src/http/content_type.h"
+
+namespace robodet {
+namespace {
+
+SiteModel MakeSite(size_t pages = 50) {
+  SiteConfig config;
+  config.num_pages = pages;
+  Rng rng(7);
+  return SiteModel::Generate(config, rng);
+}
+
+TEST(SiteModelTest, GeneratesConfiguredPageCount) {
+  const SiteModel site = MakeSite(50);
+  EXPECT_EQ(site.page_count(), 50u);
+}
+
+TEST(SiteModelTest, PathsRoundTrip) {
+  const SiteModel site = MakeSite();
+  EXPECT_EQ(SiteModel::PagePath(7), "/p/7.html");
+  EXPECT_EQ(site.FindPage("/p/7.html"), 7u);
+  EXPECT_FALSE(site.FindPage("/p/999.html").has_value());
+  EXPECT_FALSE(site.FindPage("/p/x.html").has_value());
+  EXPECT_FALSE(site.FindPage("/q/7.html").has_value());
+  EXPECT_FALSE(site.FindPage("/p/7.jpg").has_value());
+}
+
+TEST(SiteModelTest, EveryPageHasLinks) {
+  const SiteModel site = MakeSite();
+  for (size_t i = 0; i < site.page_count(); ++i) {
+    const SitePage& page = site.page(static_cast<PageId>(i));
+    EXPECT_FALSE(page.links.empty()) << i;
+    for (PageId target : page.links) {
+      EXPECT_LT(target, site.page_count());
+      EXPECT_NE(target, page.id);
+    }
+  }
+}
+
+TEST(SiteModelTest, DeterministicForSeed) {
+  SiteConfig config;
+  config.num_pages = 30;
+  Rng rng1(99);
+  Rng rng2(99);
+  const SiteModel a = SiteModel::Generate(config, rng1);
+  const SiteModel b = SiteModel::Generate(config, rng2);
+  for (size_t i = 0; i < a.page_count(); ++i) {
+    EXPECT_EQ(a.page(static_cast<PageId>(i)).links, b.page(static_cast<PageId>(i)).links);
+    EXPECT_EQ(a.page(static_cast<PageId>(i)).images, b.page(static_cast<PageId>(i)).images);
+  }
+}
+
+TEST(SiteModelTest, RenderedPageParses) {
+  const SiteModel site = MakeSite();
+  const std::string html = site.RenderPage(0);
+  HtmlDocument doc(html);
+  const SitePage& page = site.page(0);
+  // All declared links present and visible.
+  const auto links = doc.VisibleLinks();
+  size_t page_links = 0;
+  for (const LinkRef& link : links) {
+    if (link.href.rfind("/p/", 0) == 0) {
+      ++page_links;
+    }
+  }
+  EXPECT_EQ(page_links, page.links.size());
+  // Embedded images and (conditionally) css/js.
+  size_t images = 0;
+  size_t css = 0;
+  size_t js = 0;
+  for (const EmbedRef& embed : doc.EmbeddedObjects()) {
+    switch (embed.kind) {
+      case EmbedRef::Kind::kImage:
+        ++images;
+        break;
+      case EmbedRef::Kind::kCss:
+        ++css;
+        break;
+      case EmbedRef::Kind::kScript:
+        ++js;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(images, page.images.size());
+  EXPECT_EQ(css, page.has_css ? 1u : 0u);
+  EXPECT_EQ(js, page.has_js ? 1u : 0u);
+}
+
+TEST(SiteModelTest, EntryPageSamplingSkewsPopular) {
+  const SiteModel site = MakeSite(100);
+  Rng rng(3);
+  std::vector<int> counts(site.page_count(), 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[site.SampleEntryPage(rng)];
+  }
+  EXPECT_GT(counts[0], counts[90] * 3);
+}
+
+TEST(SiteModelTest, KnownImages) {
+  const SiteModel site = MakeSite();
+  EXPECT_TRUE(site.IsKnownImage("/img/i0.jpg"));
+  EXPECT_FALSE(site.IsKnownImage("/img/i99999.jpg"));
+  EXPECT_FALSE(site.IsKnownImage("/other.jpg"));
+}
+
+TEST(SiteModelTest, CgiPathsAreCgi) {
+  const SiteModel site = MakeSite();
+  const auto url = Url::Parse("http://" + site.host() + site.CgiPath(3));
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(ClassifyUrl(*url), ResourceKind::kCgi);
+}
+
+}  // namespace
+}  // namespace robodet

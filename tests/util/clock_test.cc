@@ -1,0 +1,50 @@
+#include "src/util/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace robodet {
+namespace {
+
+TEST(SimClockTest, StartsAtConfiguredTime) {
+  SimClock c;
+  EXPECT_EQ(c.Now(), 0);
+  SimClock c2(1000);
+  EXPECT_EQ(c2.Now(), 1000);
+}
+
+TEST(SimClockTest, AdvanceMovesForwardOnly) {
+  SimClock c;
+  c.Advance(500);
+  EXPECT_EQ(c.Now(), 500);
+  c.Advance(-100);  // Ignored: time never goes backwards.
+  EXPECT_EQ(c.Now(), 500);
+  c.Advance(0);
+  EXPECT_EQ(c.Now(), 500);
+}
+
+TEST(SimClockTest, AdvanceToOnlyForward) {
+  SimClock c(100);
+  c.AdvanceTo(50);
+  EXPECT_EQ(c.Now(), 100);
+  c.AdvanceTo(200);
+  EXPECT_EQ(c.Now(), 200);
+}
+
+TEST(ClockConstantsTest, Relationships) {
+  EXPECT_EQ(kSecond, 1000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kMonth, 30 * kDay);
+}
+
+TEST(FormatDurationTest, Formats) {
+  EXPECT_EQ(FormatDuration(0), "00:00:00.000");
+  EXPECT_EQ(FormatDuration(kSecond + 250), "00:00:01.250");
+  EXPECT_EQ(FormatDuration(kHour + 2 * kMinute + 3 * kSecond), "01:02:03.000");
+  EXPECT_EQ(FormatDuration(2 * kDay + 3 * kHour), "2d 03:00:00.000");
+  EXPECT_EQ(FormatDuration(-kSecond), "-00:00:01.000");
+}
+
+}  // namespace
+}  // namespace robodet

@@ -1,0 +1,58 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace robodet {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = GetLogLevel();
+    SetLogSink([this](LogLevel level, const std::string& msg) {
+      captured_.emplace_back(level, msg);
+    });
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(saved_level_);
+  }
+
+  LogLevel saved_level_ = LogLevel::kWarning;
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, LevelFilterDropsBelowThreshold) {
+  SetLogLevel(LogLevel::kWarning);
+  LogMessage(LogLevel::kDebug, "debug");
+  LogMessage(LogLevel::kInfo, "info");
+  LogMessage(LogLevel::kWarning, "warn");
+  LogMessage(LogLevel::kError, "error");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "warn");
+  EXPECT_EQ(captured_[1].second, "error");
+}
+
+TEST_F(LoggingTest, NoneSilencesEverything) {
+  SetLogLevel(LogLevel::kNone);
+  LogMessage(LogLevel::kError, "error");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, MacroStreamsAndConcatenates) {
+  SetLogLevel(LogLevel::kDebug);
+  ROBODET_LOG(kInfo) << "count=" << 42 << " name=" << "x";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "count=42 name=x");
+}
+
+TEST_F(LoggingTest, SetAndGetLevelRoundTrip) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace robodet

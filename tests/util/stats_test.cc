@@ -1,0 +1,134 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace robodet {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(42.0);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileNearestRank) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) {
+    cdf.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(cdf.Quantile(0.5), 50.0);
+  EXPECT_EQ(cdf.Quantile(0.95), 95.0);
+  EXPECT_EQ(cdf.Quantile(1.0), 100.0);
+  EXPECT_EQ(cdf.Quantile(0.0), 1.0);
+  EXPECT_EQ(cdf.Quantile(0.01), 1.0);
+}
+
+TEST(EmpiricalCdfTest, EmptyQuantileIsZero) {
+  EmpiricalCdf cdf;
+  EXPECT_EQ(cdf.Quantile(0.5), 0.0);
+  EXPECT_EQ(cdf.FractionAtOrBelow(1.0), 0.0);
+}
+
+TEST(EmpiricalCdfTest, FractionAtOrBelow) {
+  EmpiricalCdf cdf;
+  cdf.AddAll({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(4.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, InterleavedAddAndQuery) {
+  EmpiricalCdf cdf;
+  cdf.Add(10.0);
+  EXPECT_EQ(cdf.Quantile(0.5), 10.0);
+  cdf.Add(1.0);
+  EXPECT_EQ(cdf.Quantile(0.5), 1.0);  // Re-sorts after insertion.
+  EXPECT_EQ(cdf.Quantile(1.0), 10.0);
+}
+
+TEST(EmpiricalCdfTest, CurveIsMonotone) {
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 500; ++i) {
+    cdf.Add(static_cast<double>((i * 37) % 101));
+  }
+  const auto curve = cdf.Curve(20);
+  ASSERT_EQ(curve.size(), 20u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.5);
+  h.Add(-5.0);   // Clamps to bucket 0.
+  h.Add(100.0);  // Clamps to last bucket.
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_EQ(h.bucket(5), 0u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(5), 5.0);
+}
+
+TEST(HistogramTest, RenderProducesLinePerBucket) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(1.0);
+  const std::string out = h.Render(20);
+  int lines = 0;
+  for (char c : out) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(FractionCounterTest, Basics) {
+  FractionCounter f;
+  EXPECT_EQ(f.Fraction(), 0.0);
+  f.Record(true);
+  f.Record(false);
+  f.Record(true);
+  f.Record(true);
+  EXPECT_EQ(f.hits(), 3u);
+  EXPECT_EQ(f.total(), 4u);
+  EXPECT_DOUBLE_EQ(f.Fraction(), 0.75);
+}
+
+TEST(FormatPercentTest, Formats) {
+  EXPECT_EQ(FormatPercent(0.289), "28.9%");
+  EXPECT_EQ(FormatPercent(1.0), "100.0%");
+  EXPECT_EQ(FormatPercent(0.024, 1), "2.4%");
+  EXPECT_EQ(FormatPercent(0.12345, 2), "12.35%");
+}
+
+}  // namespace
+}  // namespace robodet
