@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cluster.dir/ablation_cluster.cc.o"
+  "CMakeFiles/ablation_cluster.dir/ablation_cluster.cc.o.d"
+  "ablation_cluster"
+  "ablation_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

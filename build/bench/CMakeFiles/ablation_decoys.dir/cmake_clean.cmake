@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decoys.dir/ablation_decoys.cc.o"
+  "CMakeFiles/ablation_decoys.dir/ablation_decoys.cc.o.d"
+  "ablation_decoys"
+  "ablation_decoys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decoys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_obfuscation.dir/ablation_obfuscation.cc.o"
+  "CMakeFiles/ablation_obfuscation.dir/ablation_obfuscation.cc.o.d"
+  "ablation_obfuscation"
+  "ablation_obfuscation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_obfuscation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

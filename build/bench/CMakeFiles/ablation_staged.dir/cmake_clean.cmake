@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_staged.dir/ablation_staged.cc.o"
+  "CMakeFiles/ablation_staged.dir/ablation_staged.cc.o.d"
+  "ablation_staged"
+  "ablation_staged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_staged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

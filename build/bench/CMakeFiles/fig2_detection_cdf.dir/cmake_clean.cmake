@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_detection_cdf.dir/fig2_detection_cdf.cc.o"
+  "CMakeFiles/fig2_detection_cdf.dir/fig2_detection_cdf.cc.o.d"
+  "fig2_detection_cdf"
+  "fig2_detection_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_detection_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

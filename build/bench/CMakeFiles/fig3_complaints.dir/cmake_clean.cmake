@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_complaints.dir/fig3_complaints.cc.o"
+  "CMakeFiles/fig3_complaints.dir/fig3_complaints.cc.o.d"
+  "fig3_complaints"
+  "fig3_complaints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_complaints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

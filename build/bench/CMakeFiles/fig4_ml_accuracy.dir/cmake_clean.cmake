@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ml_accuracy.dir/fig4_ml_accuracy.cc.o"
+  "CMakeFiles/fig4_ml_accuracy.dir/fig4_ml_accuracy.cc.o.d"
+  "fig4_ml_accuracy"
+  "fig4_ml_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ml_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

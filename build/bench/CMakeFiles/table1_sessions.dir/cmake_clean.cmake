@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sessions.dir/table1_sessions.cc.o"
+  "CMakeFiles/table1_sessions.dir/table1_sessions.cc.o.d"
+  "table1_sessions"
+  "table1_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_features.dir/table2_features.cc.o"
+  "CMakeFiles/table2_features.dir/table2_features.cc.o.d"
+  "table2_features"
+  "table2_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arms_race.dir/arms_race.cpp.o"
+  "CMakeFiles/arms_race.dir/arms_race.cpp.o.d"
+  "arms_race"
+  "arms_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arms_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for arms_race.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codeen_gateway.dir/codeen_gateway.cpp.o"
+  "CMakeFiles/codeen_gateway.dir/codeen_gateway.cpp.o.d"
+  "codeen_gateway"
+  "codeen_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codeen_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_defense.dir/ddos_defense.cpp.o"
+  "CMakeFiles/ddos_defense.dir/ddos_defense.cpp.o.d"
+  "ddos_defense"
+  "ddos_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_analysis.dir/log_analysis.cpp.o"
+  "CMakeFiles/log_analysis.dir/log_analysis.cpp.o.d"
+  "log_analysis"
+  "log_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

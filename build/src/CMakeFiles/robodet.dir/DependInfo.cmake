@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attestation.cc" "src/CMakeFiles/robodet.dir/core/attestation.cc.o" "gcc" "src/CMakeFiles/robodet.dir/core/attestation.cc.o.d"
+  "/root/repo/src/core/browser_test_detector.cc" "src/CMakeFiles/robodet.dir/core/browser_test_detector.cc.o" "gcc" "src/CMakeFiles/robodet.dir/core/browser_test_detector.cc.o.d"
+  "/root/repo/src/core/combined_classifier.cc" "src/CMakeFiles/robodet.dir/core/combined_classifier.cc.o" "gcc" "src/CMakeFiles/robodet.dir/core/combined_classifier.cc.o.d"
+  "/root/repo/src/core/human_activity_detector.cc" "src/CMakeFiles/robodet.dir/core/human_activity_detector.cc.o" "gcc" "src/CMakeFiles/robodet.dir/core/human_activity_detector.cc.o.d"
+  "/root/repo/src/core/staged_pipeline.cc" "src/CMakeFiles/robodet.dir/core/staged_pipeline.cc.o" "gcc" "src/CMakeFiles/robodet.dir/core/staged_pipeline.cc.o.d"
+  "/root/repo/src/html/document.cc" "src/CMakeFiles/robodet.dir/html/document.cc.o" "gcc" "src/CMakeFiles/robodet.dir/html/document.cc.o.d"
+  "/root/repo/src/html/injector.cc" "src/CMakeFiles/robodet.dir/html/injector.cc.o" "gcc" "src/CMakeFiles/robodet.dir/html/injector.cc.o.d"
+  "/root/repo/src/html/tokenizer.cc" "src/CMakeFiles/robodet.dir/html/tokenizer.cc.o" "gcc" "src/CMakeFiles/robodet.dir/html/tokenizer.cc.o.d"
+  "/root/repo/src/http/cache_control.cc" "src/CMakeFiles/robodet.dir/http/cache_control.cc.o" "gcc" "src/CMakeFiles/robodet.dir/http/cache_control.cc.o.d"
+  "/root/repo/src/http/content_type.cc" "src/CMakeFiles/robodet.dir/http/content_type.cc.o" "gcc" "src/CMakeFiles/robodet.dir/http/content_type.cc.o.d"
+  "/root/repo/src/http/headers.cc" "src/CMakeFiles/robodet.dir/http/headers.cc.o" "gcc" "src/CMakeFiles/robodet.dir/http/headers.cc.o.d"
+  "/root/repo/src/http/method.cc" "src/CMakeFiles/robodet.dir/http/method.cc.o" "gcc" "src/CMakeFiles/robodet.dir/http/method.cc.o.d"
+  "/root/repo/src/http/request.cc" "src/CMakeFiles/robodet.dir/http/request.cc.o" "gcc" "src/CMakeFiles/robodet.dir/http/request.cc.o.d"
+  "/root/repo/src/http/status.cc" "src/CMakeFiles/robodet.dir/http/status.cc.o" "gcc" "src/CMakeFiles/robodet.dir/http/status.cc.o.d"
+  "/root/repo/src/http/url.cc" "src/CMakeFiles/robodet.dir/http/url.cc.o" "gcc" "src/CMakeFiles/robodet.dir/http/url.cc.o.d"
+  "/root/repo/src/http/wire.cc" "src/CMakeFiles/robodet.dir/http/wire.cc.o" "gcc" "src/CMakeFiles/robodet.dir/http/wire.cc.o.d"
+  "/root/repo/src/js/generator.cc" "src/CMakeFiles/robodet.dir/js/generator.cc.o" "gcc" "src/CMakeFiles/robodet.dir/js/generator.cc.o.d"
+  "/root/repo/src/js/interpreter.cc" "src/CMakeFiles/robodet.dir/js/interpreter.cc.o" "gcc" "src/CMakeFiles/robodet.dir/js/interpreter.cc.o.d"
+  "/root/repo/src/js/lexer.cc" "src/CMakeFiles/robodet.dir/js/lexer.cc.o" "gcc" "src/CMakeFiles/robodet.dir/js/lexer.cc.o.d"
+  "/root/repo/src/js/obfuscator.cc" "src/CMakeFiles/robodet.dir/js/obfuscator.cc.o" "gcc" "src/CMakeFiles/robodet.dir/js/obfuscator.cc.o.d"
+  "/root/repo/src/js/parser.cc" "src/CMakeFiles/robodet.dir/js/parser.cc.o" "gcc" "src/CMakeFiles/robodet.dir/js/parser.cc.o.d"
+  "/root/repo/src/js/printer.cc" "src/CMakeFiles/robodet.dir/js/printer.cc.o" "gcc" "src/CMakeFiles/robodet.dir/js/printer.cc.o.d"
+  "/root/repo/src/js/transforms.cc" "src/CMakeFiles/robodet.dir/js/transforms.cc.o" "gcc" "src/CMakeFiles/robodet.dir/js/transforms.cc.o.d"
+  "/root/repo/src/ml/adaboost.cc" "src/CMakeFiles/robodet.dir/ml/adaboost.cc.o" "gcc" "src/CMakeFiles/robodet.dir/ml/adaboost.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/CMakeFiles/robodet.dir/ml/dataset.cc.o" "gcc" "src/CMakeFiles/robodet.dir/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/robodet.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/robodet.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/evaluation.cc" "src/CMakeFiles/robodet.dir/ml/evaluation.cc.o" "gcc" "src/CMakeFiles/robodet.dir/ml/evaluation.cc.o.d"
+  "/root/repo/src/ml/features.cc" "src/CMakeFiles/robodet.dir/ml/features.cc.o" "gcc" "src/CMakeFiles/robodet.dir/ml/features.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/robodet.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/robodet.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/CMakeFiles/robodet.dir/ml/naive_bayes.cc.o" "gcc" "src/CMakeFiles/robodet.dir/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/proxy/captcha.cc" "src/CMakeFiles/robodet.dir/proxy/captcha.cc.o" "gcc" "src/CMakeFiles/robodet.dir/proxy/captcha.cc.o.d"
+  "/root/repo/src/proxy/key_table.cc" "src/CMakeFiles/robodet.dir/proxy/key_table.cc.o" "gcc" "src/CMakeFiles/robodet.dir/proxy/key_table.cc.o.d"
+  "/root/repo/src/proxy/policy.cc" "src/CMakeFiles/robodet.dir/proxy/policy.cc.o" "gcc" "src/CMakeFiles/robodet.dir/proxy/policy.cc.o.d"
+  "/root/repo/src/proxy/proxy_server.cc" "src/CMakeFiles/robodet.dir/proxy/proxy_server.cc.o" "gcc" "src/CMakeFiles/robodet.dir/proxy/proxy_server.cc.o.d"
+  "/root/repo/src/proxy/session.cc" "src/CMakeFiles/robodet.dir/proxy/session.cc.o" "gcc" "src/CMakeFiles/robodet.dir/proxy/session.cc.o.d"
+  "/root/repo/src/proxy/session_table.cc" "src/CMakeFiles/robodet.dir/proxy/session_table.cc.o" "gcc" "src/CMakeFiles/robodet.dir/proxy/session_table.cc.o.d"
+  "/root/repo/src/proxy/token_minter.cc" "src/CMakeFiles/robodet.dir/proxy/token_minter.cc.o" "gcc" "src/CMakeFiles/robodet.dir/proxy/token_minter.cc.o.d"
+  "/root/repo/src/sim/clf_import.cc" "src/CMakeFiles/robodet.dir/sim/clf_import.cc.o" "gcc" "src/CMakeFiles/robodet.dir/sim/clf_import.cc.o.d"
+  "/root/repo/src/sim/cluster.cc" "src/CMakeFiles/robodet.dir/sim/cluster.cc.o" "gcc" "src/CMakeFiles/robodet.dir/sim/cluster.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/robodet.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/robodet.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/gateway.cc" "src/CMakeFiles/robodet.dir/sim/gateway.cc.o" "gcc" "src/CMakeFiles/robodet.dir/sim/gateway.cc.o.d"
+  "/root/repo/src/sim/human_browser.cc" "src/CMakeFiles/robodet.dir/sim/human_browser.cc.o" "gcc" "src/CMakeFiles/robodet.dir/sim/human_browser.cc.o.d"
+  "/root/repo/src/sim/population.cc" "src/CMakeFiles/robodet.dir/sim/population.cc.o" "gcc" "src/CMakeFiles/robodet.dir/sim/population.cc.o.d"
+  "/root/repo/src/sim/record_io.cc" "src/CMakeFiles/robodet.dir/sim/record_io.cc.o" "gcc" "src/CMakeFiles/robodet.dir/sim/record_io.cc.o.d"
+  "/root/repo/src/sim/robots.cc" "src/CMakeFiles/robodet.dir/sim/robots.cc.o" "gcc" "src/CMakeFiles/robodet.dir/sim/robots.cc.o.d"
+  "/root/repo/src/site/origin_server.cc" "src/CMakeFiles/robodet.dir/site/origin_server.cc.o" "gcc" "src/CMakeFiles/robodet.dir/site/origin_server.cc.o.d"
+  "/root/repo/src/site/site_model.cc" "src/CMakeFiles/robodet.dir/site/site_model.cc.o" "gcc" "src/CMakeFiles/robodet.dir/site/site_model.cc.o.d"
+  "/root/repo/src/util/clock.cc" "src/CMakeFiles/robodet.dir/util/clock.cc.o" "gcc" "src/CMakeFiles/robodet.dir/util/clock.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/robodet.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/robodet.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/robodet.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/robodet.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/robodet.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/robodet.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/robodet.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/robodet.dir/util/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for robodet.
+# This may be replaced when dependencies are built.

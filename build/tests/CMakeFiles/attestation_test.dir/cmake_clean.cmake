@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attestation_test.dir/core/attestation_test.cc.o"
+  "CMakeFiles/attestation_test.dir/core/attestation_test.cc.o.d"
+  "attestation_test"
+  "attestation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attestation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

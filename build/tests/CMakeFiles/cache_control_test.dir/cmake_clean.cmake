@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_control_test.dir/http/cache_control_test.cc.o"
+  "CMakeFiles/cache_control_test.dir/http/cache_control_test.cc.o.d"
+  "cache_control_test"
+  "cache_control_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/captcha_test.dir/proxy/captcha_test.cc.o"
+  "CMakeFiles/captcha_test.dir/proxy/captcha_test.cc.o.d"
+  "captcha_test"
+  "captcha_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/captcha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

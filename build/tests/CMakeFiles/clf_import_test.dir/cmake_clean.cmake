@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clf_import_test.dir/sim/clf_import_test.cc.o"
+  "CMakeFiles/clf_import_test.dir/sim/clf_import_test.cc.o.d"
+  "clf_import_test"
+  "clf_import_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clf_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_type_test.dir/http/content_type_test.cc.o"
+  "CMakeFiles/content_type_test.dir/http/content_type_test.cc.o.d"
+  "content_type_test"
+  "content_type_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detectors_test.dir/core/detectors_test.cc.o"
+  "CMakeFiles/detectors_test.dir/core/detectors_test.cc.o.d"
+  "detectors_test"
+  "detectors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detectors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_document_test.dir/html/document_test.cc.o"
+  "CMakeFiles/html_document_test.dir/html/document_test.cc.o.d"
+  "html_document_test"
+  "html_document_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_document_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_fuzz_test.dir/html/fuzz_test.cc.o"
+  "CMakeFiles/html_fuzz_test.dir/html/fuzz_test.cc.o.d"
+  "html_fuzz_test"
+  "html_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_injector_test.dir/html/injector_test.cc.o"
+  "CMakeFiles/html_injector_test.dir/html/injector_test.cc.o.d"
+  "html_injector_test"
+  "html_injector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_injector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

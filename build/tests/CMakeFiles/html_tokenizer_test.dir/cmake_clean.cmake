@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_tokenizer_test.dir/html/tokenizer_test.cc.o"
+  "CMakeFiles/html_tokenizer_test.dir/html/tokenizer_test.cc.o.d"
+  "html_tokenizer_test"
+  "html_tokenizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

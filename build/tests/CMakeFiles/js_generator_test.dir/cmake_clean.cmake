@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_generator_test.dir/js/generator_test.cc.o"
+  "CMakeFiles/js_generator_test.dir/js/generator_test.cc.o.d"
+  "js_generator_test"
+  "js_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_interpreter_test.dir/js/interpreter_test.cc.o"
+  "CMakeFiles/js_interpreter_test.dir/js/interpreter_test.cc.o.d"
+  "js_interpreter_test"
+  "js_interpreter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_lexer_test.dir/js/lexer_test.cc.o"
+  "CMakeFiles/js_lexer_test.dir/js/lexer_test.cc.o.d"
+  "js_lexer_test"
+  "js_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_obfuscator_test.dir/js/obfuscator_test.cc.o"
+  "CMakeFiles/js_obfuscator_test.dir/js/obfuscator_test.cc.o.d"
+  "js_obfuscator_test"
+  "js_obfuscator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_obfuscator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_parser_test.dir/js/parser_test.cc.o"
+  "CMakeFiles/js_parser_test.dir/js/parser_test.cc.o.d"
+  "js_parser_test"
+  "js_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

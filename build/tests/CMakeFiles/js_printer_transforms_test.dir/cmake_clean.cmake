@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_printer_transforms_test.dir/js/printer_transforms_test.cc.o"
+  "CMakeFiles/js_printer_transforms_test.dir/js/printer_transforms_test.cc.o.d"
+  "js_printer_transforms_test"
+  "js_printer_transforms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_printer_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_table_test.dir/proxy/key_table_test.cc.o"
+  "CMakeFiles/key_table_test.dir/proxy/key_table_test.cc.o.d"
+  "key_table_test"
+  "key_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

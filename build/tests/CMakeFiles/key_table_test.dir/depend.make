@@ -1,0 +1,2 @@
+# Empty dependencies file for key_table_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_adaboost_test.dir/ml/adaboost_test.cc.o"
+  "CMakeFiles/ml_adaboost_test.dir/ml/adaboost_test.cc.o.d"
+  "ml_adaboost_test"
+  "ml_adaboost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_adaboost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

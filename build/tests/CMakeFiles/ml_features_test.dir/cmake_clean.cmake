@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_features_test.dir/ml/features_test.cc.o"
+  "CMakeFiles/ml_features_test.dir/ml/features_test.cc.o.d"
+  "ml_features_test"
+  "ml_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/origin_server_test.dir/site/origin_server_test.cc.o"
+  "CMakeFiles/origin_server_test.dir/site/origin_server_test.cc.o.d"
+  "origin_server_test"
+  "origin_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/origin_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

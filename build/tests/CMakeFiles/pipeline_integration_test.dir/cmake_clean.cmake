@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_integration_test.dir/sim/pipeline_integration_test.cc.o"
+  "CMakeFiles/pipeline_integration_test.dir/sim/pipeline_integration_test.cc.o.d"
+  "pipeline_integration_test"
+  "pipeline_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_variants_test.dir/proxy/probe_variants_test.cc.o"
+  "CMakeFiles/probe_variants_test.dir/proxy/probe_variants_test.cc.o.d"
+  "probe_variants_test"
+  "probe_variants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

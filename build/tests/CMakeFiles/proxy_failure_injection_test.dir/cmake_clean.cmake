@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_failure_injection_test.dir/proxy/failure_injection_test.cc.o"
+  "CMakeFiles/proxy_failure_injection_test.dir/proxy/failure_injection_test.cc.o.d"
+  "proxy_failure_injection_test"
+  "proxy_failure_injection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_failure_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

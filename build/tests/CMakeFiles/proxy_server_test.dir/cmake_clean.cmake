@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_server_test.dir/proxy/proxy_server_test.cc.o"
+  "CMakeFiles/proxy_server_test.dir/proxy/proxy_server_test.cc.o.d"
+  "proxy_server_test"
+  "proxy_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_test.dir/http/request_test.cc.o"
+  "CMakeFiles/request_test.dir/http/request_test.cc.o.d"
+  "request_test"
+  "request_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_table_test.dir/proxy/session_table_test.cc.o"
+  "CMakeFiles/session_table_test.dir/proxy/session_table_test.cc.o.d"
+  "session_table_test"
+  "session_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_experiment_test.dir/sim/experiment_test.cc.o"
+  "CMakeFiles/sim_experiment_test.dir/sim/experiment_test.cc.o.d"
+  "sim_experiment_test"
+  "sim_experiment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_human_browser_test.dir/sim/human_browser_test.cc.o"
+  "CMakeFiles/sim_human_browser_test.dir/sim/human_browser_test.cc.o.d"
+  "sim_human_browser_test"
+  "sim_human_browser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_human_browser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_record_io_test.dir/sim/record_io_test.cc.o"
+  "CMakeFiles/sim_record_io_test.dir/sim/record_io_test.cc.o.d"
+  "sim_record_io_test"
+  "sim_record_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_record_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_robots_test.dir/sim/robots_test.cc.o"
+  "CMakeFiles/sim_robots_test.dir/sim/robots_test.cc.o.d"
+  "sim_robots_test"
+  "sim_robots_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_robots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

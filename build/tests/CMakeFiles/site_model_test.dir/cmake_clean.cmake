@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_model_test.dir/site/site_model_test.cc.o"
+  "CMakeFiles/site_model_test.dir/site/site_model_test.cc.o.d"
+  "site_model_test"
+  "site_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

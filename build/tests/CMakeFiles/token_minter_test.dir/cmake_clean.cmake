@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_minter_test.dir/proxy/token_minter_test.cc.o"
+  "CMakeFiles/token_minter_test.dir/proxy/token_minter_test.cc.o.d"
+  "token_minter_test"
+  "token_minter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_minter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/url_test.dir/http/url_test.cc.o"
+  "CMakeFiles/url_test.dir/http/url_test.cc.o.d"
+  "url_test"
+  "url_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/url_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

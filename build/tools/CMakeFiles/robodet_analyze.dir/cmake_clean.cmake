@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robodet_analyze.dir/robodet_analyze.cc.o"
+  "CMakeFiles/robodet_analyze.dir/robodet_analyze.cc.o.d"
+  "robodet_analyze"
+  "robodet_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robodet_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robodet_capture.dir/robodet_capture.cc.o"
+  "CMakeFiles/robodet_capture.dir/robodet_capture.cc.o.d"
+  "robodet_capture"
+  "robodet_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robodet_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robodet_rewrite.dir/robodet_rewrite.cc.o"
+  "CMakeFiles/robodet_rewrite.dir/robodet_rewrite.cc.o.d"
+  "robodet_rewrite"
+  "robodet_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robodet_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
