@@ -188,6 +188,10 @@ BENCHMARK(BM_AdaBoostTrain200)->Arg(1000)->Arg(4000)->ArgName("examples")
 
 // The end-to-end per-request cost of the instrumenting proxy: one HTML
 // page fetch, fully instrumented (key minting, beacon derivation, rewrite).
+// The obs arg measures the observability tax on this hot path:
+//   obs=0  metrics disabled (no registry writes at all)
+//   obs=1  metrics on (the default production configuration)
+//   obs=2  metrics on + request tracing sampled 1/64
 void BM_ProxyServePage(benchmark::State& state) {
   SiteConfig site_config;
   site_config.num_pages = 50;
@@ -197,8 +201,13 @@ void BM_ProxyServePage(benchmark::State& state) {
   SimClock clock;
   ProxyConfig config;
   config.host = site.host();
+  config.enable_metrics = state.range(0) >= 1;
   ProxyServer proxy(config, &clock,
                     [&origin](const Request& r) { return origin.Handle(r); }, 37);
+  TraceRecorder tracer(TraceRecorder::Config{128, 64, {}});
+  if (state.range(0) >= 2) {
+    proxy.set_trace_recorder(&tracer);
+  }
   uint32_t ip = 0;
   for (auto _ : state) {
     Request request;
@@ -211,7 +220,67 @@ void BM_ProxyServePage(benchmark::State& state) {
     clock.Advance(1);
   }
 }
-BENCHMARK(BM_ProxyServePage);
+BENCHMARK(BM_ProxyServePage)->Arg(0)->Arg(1)->Arg(2)->ArgName("obs");
+
+// Raw cost of one pre-resolved counter increment (the unit the proxy pays
+// per recorded event on the hot path).
+void BM_MetricsCounterInc(benchmark::State& state) {
+  MetricsRegistry registry;
+  Counter* counter = registry.FindOrCreateCounter("bench_counter_total");
+  for (auto _ : state) {
+    counter->Inc();
+  }
+  benchmark::DoNotOptimize(counter->Value());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+// One histogram observation: bucket search + shard cell add + sum update.
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  MetricsRegistry registry;
+  HistogramMetric* hist =
+      registry.FindOrCreateHistogram("bench_hist_us", ExponentialBuckets(1.0, 2.0, 14));
+  double v = 0.5;
+  for (auto _ : state) {
+    v = v < 9000.0 ? v * 1.7 : 0.5;
+    hist->Observe(v);
+  }
+  benchmark::DoNotOptimize(hist->Snapshot().count);
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+// Scrape cost over a populated registry (the slow path; runs off the
+// request thread in a real deployment).
+void BM_MetricsScrape(benchmark::State& state) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 64; ++i) {
+    Counter* c = registry.FindOrCreateCounter("bench_family_total",
+                                              {{"idx", std::to_string(i)}});
+    c->Inc(static_cast<uint64_t>(i));
+  }
+  registry.FindOrCreateHistogram("bench_hist_us", ExponentialBuckets(1.0, 2.0, 14))
+      ->Observe(3.0);
+  for (auto _ : state) {
+    RegistrySnapshot snapshot = registry.Scrape();
+    benchmark::DoNotOptimize(snapshot.metrics.size());
+  }
+}
+BENCHMARK(BM_MetricsScrape);
+
+// Full trace lifecycle: start, open/close four spans, finish (what a
+// sampled request pays on top of its normal work).
+void BM_TraceStartFinish(benchmark::State& state) {
+  TraceRecorder recorder(TraceRecorder::Config{128, 1, {}});
+  for (auto _ : state) {
+    TraceRecorder::Trace* trace = recorder.Start("/p/1.html", false);
+    for (const char* name : {"parse", "origin_fetch", "rewrite_inject", "session_update"}) {
+      const int span = trace->OpenSpan(name);
+      trace->CloseSpan(span);
+    }
+    recorder.Finish(trace);
+  }
+  benchmark::DoNotOptimize(recorder.started());
+}
+BENCHMARK(BM_TraceStartFinish);
 
 // The beacon-image hit path (the per-event cost of a mouse-movement proof).
 void BM_ProxyBeaconHit(benchmark::State& state) {

@@ -1,6 +1,7 @@
 // Quickstart: stand up an instrumenting proxy in front of a synthetic
-// site, drive one human browser and one robot through it, and print the
-// verdicts the detectors reach — the minimal end-to-end robodet loop.
+// site, drive one human browser and one robot through it, print the
+// verdicts the detectors reach, then show what the observability layer
+// saw: the Prometheus scrape and the robot session's request trace.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
@@ -12,8 +13,7 @@ namespace {
 using namespace robodet;
 
 void PrintClassification(const char* who, const SessionState& session,
-                         const CombinedClassifier& classifier) {
-  const Classification c = classifier.ClassifyOnline(session.observation());
+                         const Classification& c) {
   std::printf("%-18s -> %-7s (decided at request %d, %d requests total)\n", who,
               std::string(VerdictName(c.verdict)).c_str(), c.decided_at,
               session.request_count());
@@ -37,14 +37,22 @@ int main() {
   SiteModel site = SiteModel::Generate(site_config, site_rng);
   OriginServer origin(&site);
 
-  // 2. The instrumenting proxy (a CoDeeN node, in effect).
+  // 2. The instrumenting proxy (a CoDeeN node, in effect), with the §3.2
+  // policy enforcing so the robot session actually gets blocked.
   SimClock clock;
   ProxyConfig proxy_config;
   proxy_config.host = site.host();
   proxy_config.num_decoys = 4;       // m decoy fetchers per beacon script.
   proxy_config.obfuscation_level = 2;
+  proxy_config.enable_policy = true;
+  proxy_config.policy.max_get_per_minute = 30.0;  // Aggressive, for the demo.
   ProxyServer proxy(proxy_config, &clock,
                     [&origin](const Request& r) { return origin.Handle(r); }, 1);
+
+  // Trace every request (sample_every=1 is demo-friendly; production would
+  // sample 1/64 and rely on tail-sampling to keep the blocked ones).
+  TraceRecorder tracer(TraceRecorder::Config{/*capacity=*/256, /*sample_every=*/1, {}});
+  proxy.set_trace_recorder(&tracer);
   Gateway gateway(&proxy, &clock);
 
   // 3. One human with a standard browser...
@@ -75,21 +83,38 @@ int main() {
     }
   }
 
-  // 5. Ask the detectors what they saw.
+  // 5. Ask the detectors what they saw. ClassifySession records each
+  // verdict into the registry, so the scrape below must show exactly these
+  // two sessions under robodet_verdict_total.
   std::printf("robodet quickstart — behavioural robot detection (USENIX ATC 2006)\n\n");
-  CombinedClassifier classifier;
-  PrintClassification("human (Firefox)",
-                      *proxy.sessions().Touch({human_id.ip, human_id.user_agent}, clock.Now()),
-                      classifier);
-  PrintClassification("referrer spammer",
-                      *proxy.sessions().Touch({bot_id.ip, bot_id.user_agent}, clock.Now()),
-                      classifier);
+  const SessionState& human_session =
+      *proxy.sessions().Touch({human_id.ip, human_id.user_agent}, clock.Now());
+  const SessionState& robot_session =
+      *proxy.sessions().Touch({bot_id.ip, bot_id.user_agent}, clock.Now());
+  PrintClassification("human (Firefox)", human_session, proxy.ClassifySession(human_session));
+  PrintClassification("referrer spammer", robot_session, proxy.ClassifySession(robot_session));
 
-  const ProxyStats& stats = proxy.stats();
-  std::printf("\nproxy: %llu requests, %llu pages instrumented, "
+  const ProxyStats stats = proxy.stats();
+  std::printf("\nproxy: %llu requests (%llu blocked), %llu pages instrumented, "
               "instrumentation overhead %.2f%% of bytes\n",
               static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.blocked_requests),
               static_cast<unsigned long long>(stats.pages_instrumented),
               stats.OverheadFraction() * 100.0);
+
+  // 6. The same numbers as a monitoring system would see them.
+  std::printf("\n--- Prometheus scrape "
+              "------------------------------------------------\n");
+  std::printf("%s", ExportPrometheus(proxy.metrics().Scrape()).c_str());
+
+  // 7. The robot's trace: the span timeline ends at the policy decision.
+  std::printf("--- robot trace "
+              "------------------------------------------------------\n");
+  for (const RequestTrace& trace : tracer.Snapshot()) {
+    if (trace.blocked) {
+      std::printf("%s", FormatTraceText(trace).c_str());
+      break;
+    }
+  }
   return 0;
 }

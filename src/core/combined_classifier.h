@@ -14,6 +14,7 @@
 #include "src/core/human_activity_detector.h"
 #include "src/core/signals.h"
 #include "src/core/verdict.h"
+#include "src/obs/metrics.h"
 
 namespace robodet {
 
@@ -42,7 +43,20 @@ class CombinedClassifier {
   // wins over human-leaning evidence, mouse activity wins over everything.
   Classification ClassifyOnline(const SessionObservation& obs) const;
 
+  // Counts every online classification into `registry` as
+  // robodet_classify_online_total{verdict=...}.
+  void BindMetrics(MetricsRegistry* registry);
+
  private:
+  Classification ClassifyOnlineUncounted(const SessionObservation& obs) const;
+
+  struct Metrics {
+    Counter* human = nullptr;
+    Counter* robot = nullptr;
+    Counter* unknown = nullptr;
+  };
+
+  Metrics metrics_;
   HumanActivityDetector human_activity_;
   BrowserTestDetector browser_test_;
 };

@@ -1,0 +1,31 @@
+// Serializers for scraped metrics and recorded traces: the Prometheus
+// text exposition format (what an operator's scrape endpoint would
+// return) and a JSON snapshot (what dashboards and the robodet_metrics
+// CLI consume), plus a human-readable trace timeline renderer.
+#ifndef ROBODET_SRC_OBS_EXPORTERS_H_
+#define ROBODET_SRC_OBS_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace robodet {
+
+// Prometheus text format, version 0.0.4: one "# TYPE" line per metric
+// family, histograms expanded into _bucket{le=...}/_sum/_count series.
+std::string ExportPrometheus(const RegistrySnapshot& snapshot);
+
+// One JSON object: {"metrics":[{name, kind, labels, ...}, ...]}.
+std::string ExportJson(const RegistrySnapshot& snapshot);
+
+// Indented per-span timeline of one trace for terminal reading.
+std::string FormatTraceText(const RequestTrace& trace);
+
+// JSON array of traces with their span lists.
+std::string ExportTracesJson(const std::vector<RequestTrace>& traces);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_OBS_EXPORTERS_H_

@@ -2,6 +2,25 @@
 
 namespace robodet {
 
+void KeyTable::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.issued = registry->FindOrCreateCounter("robodet_key_table_issued_total");
+  metrics_.matched = registry->FindOrCreateCounter("robodet_key_table_matched_total");
+  metrics_.mismatched = registry->FindOrCreateCounter("robodet_key_table_mismatched_total");
+  metrics_.expired = registry->FindOrCreateCounter("robodet_key_table_expired_total");
+  metrics_.evicted = registry->FindOrCreateCounter("robodet_key_table_evicted_total");
+  metrics_.entries = registry->FindOrCreateGauge("robodet_key_table_entries");
+}
+
+void KeyTable::UpdateEntriesGauge() {
+  if (metrics_.entries != nullptr) {
+    metrics_.entries->Set(static_cast<int64_t>(total_entries_));
+  }
+}
+
 void KeyTable::Record(IpAddress ip, const std::string& page_path, const std::string& key,
                       TimeMs now) {
   // Global bound: expire lazily before (re)acquiring any bucket reference —
@@ -15,16 +34,20 @@ void KeyTable::Record(IpAddress ip, const std::string& page_path, const std::str
   std::deque<Entry>& entries = by_ip_[ip.value()];
   while (entries.size() >= config_.max_entries_per_ip) {
     DropOldestFor(entries);
+    IncIfBound(metrics_.evicted);
   }
   entries.push_back(Entry{page_path, key, now});
   ++total_entries_;
   ++issued_;
+  IncIfBound(metrics_.issued);
+  UpdateEntriesGauge();
 }
 
 bool KeyTable::MatchAndConsume(IpAddress ip, const std::string& key, TimeMs now) {
   auto it = by_ip_.find(ip.value());
   if (it == by_ip_.end()) {
     ++mismatched_;
+    IncIfBound(metrics_.mismatched);
     return false;
   }
   std::deque<Entry>& entries = it->second;
@@ -36,15 +59,19 @@ bool KeyTable::MatchAndConsume(IpAddress ip, const std::string& key, TimeMs now)
       if (entries.empty()) {
         by_ip_.erase(it);
       }
+      UpdateEntriesGauge();
       if (live) {
         ++matched_;
+        IncIfBound(metrics_.matched);
         return true;
       }
       ++mismatched_;
+      IncIfBound(metrics_.mismatched);
       return false;
     }
   }
   ++mismatched_;
+  IncIfBound(metrics_.mismatched);
   return false;
 }
 
@@ -54,6 +81,7 @@ void KeyTable::ExpireOld(TimeMs now) {
     while (!entries.empty() && now - entries.front().issued_at > config_.entry_ttl) {
       entries.pop_front();
       --total_entries_;
+      IncIfBound(metrics_.expired);
     }
     if (entries.empty()) {
       it = by_ip_.erase(it);
@@ -61,6 +89,7 @@ void KeyTable::ExpireOld(TimeMs now) {
       ++it;
     }
   }
+  UpdateEntriesGauge();
 }
 
 void KeyTable::DropOldestFor(std::deque<Entry>& entries) {

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "src/http/request.h"
+#include "src/obs/metrics.h"
 #include "src/util/clock.h"
 
 namespace robodet {
@@ -38,6 +39,10 @@ class KeyTable {
   // Drops all expired entries (called opportunistically).
   void ExpireOld(TimeMs now);
 
+  // Mirrors the table's counters into `registry` under
+  // robodet_key_table_*; call once at wiring time.
+  void BindMetrics(MetricsRegistry* registry);
+
   size_t total_entries() const { return total_entries_; }
   uint64_t issued() const { return issued_; }
   uint64_t matched() const { return matched_; }
@@ -51,8 +56,19 @@ class KeyTable {
   };
 
   void DropOldestFor(std::deque<Entry>& entries);
+  void UpdateEntriesGauge();
+
+  struct Metrics {
+    Counter* issued = nullptr;
+    Counter* matched = nullptr;
+    Counter* mismatched = nullptr;
+    Counter* expired = nullptr;
+    Counter* evicted = nullptr;
+    Gauge* entries = nullptr;
+  };
 
   Config config_;
+  Metrics metrics_;
   std::unordered_map<uint32_t, std::deque<Entry>> by_ip_;
   size_t total_entries_ = 0;
   uint64_t issued_ = 0;

@@ -2,9 +2,25 @@
 
 namespace robodet {
 
+void PolicyEngine::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.blocked_requests =
+      registry->FindOrCreateCounter("robodet_policy_blocked_requests_total");
+  metrics_.tripped_cgi_rate = registry->FindOrCreateCounter(
+      "robodet_policy_blocked_sessions_total", {{"threshold", "cgi_rate"}});
+  metrics_.tripped_get_rate = registry->FindOrCreateCounter(
+      "robodet_policy_blocked_sessions_total", {{"threshold", "get_rate"}});
+  metrics_.tripped_errors = registry->FindOrCreateCounter(
+      "robodet_policy_blocked_sessions_total", {{"threshold", "errors"}});
+}
+
 PolicyAction PolicyEngine::Evaluate(SessionState& session, Verdict verdict, TimeMs now) {
   if (session.blocked()) {
     ++blocked_requests_;
+    IncIfBound(metrics_.blocked_requests);
     return PolicyAction::kBlock;
   }
   if (!config_.enforce || verdict != Verdict::kRobot) {
@@ -17,13 +33,21 @@ PolicyAction PolicyEngine::Evaluate(SessionState& session, Verdict verdict, Time
   const double minutes = static_cast<double>(lifetime) / static_cast<double>(kMinute);
   const double cgi_rate = static_cast<double>(session.cgi_requests()) / minutes;
   const double get_rate = static_cast<double>(session.get_requests()) / minutes;
-  const bool tripped = cgi_rate > config_.max_cgi_per_minute ||
-                       get_rate > config_.max_get_per_minute ||
-                       session.error_responses() > config_.max_error_responses;
-  if (tripped) {
+  const bool cgi_tripped = cgi_rate > config_.max_cgi_per_minute;
+  const bool get_tripped = get_rate > config_.max_get_per_minute;
+  const bool errors_tripped = session.error_responses() > config_.max_error_responses;
+  if (cgi_tripped || get_tripped || errors_tripped) {
     session.set_blocked(true);
     ++blocked_sessions_;
     ++blocked_requests_;
+    IncIfBound(metrics_.blocked_requests);
+    if (cgi_tripped) {
+      IncIfBound(metrics_.tripped_cgi_rate);
+    } else if (get_tripped) {
+      IncIfBound(metrics_.tripped_get_rate);
+    } else {
+      IncIfBound(metrics_.tripped_errors);
+    }
     return PolicyAction::kBlock;
   }
   return PolicyAction::kAllow;

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "src/core/verdict.h"
+#include "src/obs/metrics.h"
 #include "src/proxy/session.h"
 
 namespace robodet {
@@ -41,8 +42,20 @@ class PolicyEngine {
   uint64_t blocked_sessions() const { return blocked_sessions_; }
   uint64_t blocked_requests() const { return blocked_requests_; }
 
+  // Mirrors block decisions into `registry` under robodet_policy_*;
+  // newly tripped sessions are labeled by which threshold fired.
+  void BindMetrics(MetricsRegistry* registry);
+
  private:
+  struct Metrics {
+    Counter* blocked_requests = nullptr;
+    Counter* tripped_cgi_rate = nullptr;
+    Counter* tripped_get_rate = nullptr;
+    Counter* tripped_errors = nullptr;
+  };
+
   PolicyConfig config_;
+  Metrics metrics_;
   uint64_t blocked_sessions_ = 0;
   uint64_t blocked_requests_ = 0;
 };

@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "src/core/combined_classifier.h"
 #include "src/html/document.h"
 #include "src/html/injector.h"
 #include "src/util/logging.h"
@@ -37,6 +36,10 @@ Response Blocked() {
                       "<html><body>Access denied.</body></html>");
 }
 
+// Microsecond buckets 1us..8.2ms; rewrite and full-handle latencies land
+// mid-range, probe hits in the first buckets.
+std::vector<double> LatencyBucketsUs() { return ExponentialBuckets(1.0, 2.0, 14); }
+
 }  // namespace
 
 ProxyServer::ProxyServer(ProxyConfig config, SimClock* clock, OriginHandler origin,
@@ -49,7 +52,78 @@ ProxyServer::ProxyServer(ProxyConfig config, SimClock* clock, OriginHandler orig
       sessions_(config_.session),
       key_table_(config_.keys),
       policy_(config_.policy),
-      captcha_(&minter_) {}
+      captcha_(&minter_),
+      owned_registry_(std::make_unique<MetricsRegistry>()),
+      registry_(owned_registry_.get()) {
+  BindMetrics();
+}
+
+void ProxyServer::BindMetrics() {
+  m_ = Handles{};
+  if (!config_.enable_metrics) {
+    sessions_.BindMetrics(nullptr);
+    key_table_.BindMetrics(nullptr);
+    policy_.BindMetrics(nullptr);
+    default_classifier_.BindMetrics(nullptr);
+    return;
+  }
+  m_.requests = registry_->FindOrCreateCounter("robodet_requests_total");
+  m_.blocked = registry_->FindOrCreateCounter("robodet_blocked_requests_total");
+  m_.pages_instrumented = registry_->FindOrCreateCounter("robodet_pages_instrumented_total");
+  m_.probe_css = registry_->FindOrCreateCounter("robodet_probe_hits_total", {{"kind", "css"}});
+  m_.probe_js_file =
+      registry_->FindOrCreateCounter("robodet_probe_hits_total", {{"kind", "js_file"}});
+  m_.probe_audio =
+      registry_->FindOrCreateCounter("robodet_probe_hits_total", {{"kind", "audio"}});
+  m_.ua_echo =
+      registry_->FindOrCreateCounter("robodet_probe_hits_total", {{"kind", "ua_echo"}});
+  m_.hidden_link =
+      registry_->FindOrCreateCounter("robodet_probe_hits_total", {{"kind", "hidden_link"}});
+  m_.beacon_ok =
+      registry_->FindOrCreateCounter("robodet_beacon_hits_total", {{"result", "ok"}});
+  m_.beacon_wrong =
+      registry_->FindOrCreateCounter("robodet_beacon_hits_total", {{"result", "wrong_key"}});
+  m_.captcha_pass =
+      registry_->FindOrCreateCounter("robodet_captcha_total", {{"result", "pass"}});
+  m_.captcha_fail =
+      registry_->FindOrCreateCounter("robodet_captcha_total", {{"result", "fail"}});
+  m_.origin_bytes = registry_->FindOrCreateCounter("robodet_origin_bytes_total");
+  m_.instr_bytes = registry_->FindOrCreateCounter("robodet_instrumentation_bytes_total");
+  m_.handle_us =
+      registry_->FindOrCreateHistogram("robodet_handle_duration_us", LatencyBucketsUs());
+  m_.rewrite_us =
+      registry_->FindOrCreateHistogram("robodet_rewrite_duration_us", LatencyBucketsUs());
+  sessions_.BindMetrics(registry_);
+  key_table_.BindMetrics(registry_);
+  policy_.BindMetrics(registry_);
+  default_classifier_.BindMetrics(registry_);
+}
+
+void ProxyServer::UseSharedMetrics(MetricsRegistry* registry) {
+  registry_ = registry != nullptr ? registry : owned_registry_.get();
+  BindMetrics();
+}
+
+ProxyStats ProxyServer::stats() const {
+  ProxyStats s;
+  if (m_.requests == nullptr) {
+    return s;  // Metrics disabled: nothing was recorded.
+  }
+  s.requests = m_.requests->Value();
+  s.blocked_requests = m_.blocked->Value();
+  s.pages_instrumented = m_.pages_instrumented->Value();
+  s.probe_hits_css = m_.probe_css->Value();
+  s.probe_hits_js_file = m_.probe_js_file->Value();
+  s.beacon_hits_ok = m_.beacon_ok->Value();
+  s.beacon_hits_wrong = m_.beacon_wrong->Value();
+  s.ua_echo_hits = m_.ua_echo->Value();
+  s.hidden_link_hits = m_.hidden_link->Value();
+  s.captcha_passes = m_.captcha_pass->Value();
+  s.captcha_failures = m_.captcha_fail->Value();
+  s.origin_bytes = m_.origin_bytes->Value();
+  s.instrumentation_bytes = m_.instr_bytes->Value();
+  return s;
+}
 
 void ProxyServer::EnableBrowserTest(bool on) {
   config_.enable_css_probe = on;
@@ -67,8 +141,39 @@ Verdict ProxyServer::JudgeSession(const SessionState& session) const {
   if (robot_judge_) {
     return robot_judge_(session);
   }
-  static const CombinedClassifier kDefault{};
-  return kDefault.ClassifyOnline(session.observation()).verdict;
+  return default_classifier_.ClassifyOnline(session.observation()).verdict;
+}
+
+Classification ProxyServer::ClassifySession(const SessionState& session) {
+  Classification classification;
+  if (robot_judge_) {
+    classification.verdict = robot_judge_(session);
+    classification.decided_at = session.request_count();
+    classification.evidence.push_back(
+        {"robot_judge", "custom", session.request_count(), classification.verdict});
+  } else {
+    classification = default_classifier_.ClassifyOnline(session.observation());
+  }
+  RecordVerdict(classification);
+  return classification;
+}
+
+void ProxyServer::RecordVerdict(const Classification& classification) {
+  if (!config_.enable_metrics) {
+    return;
+  }
+  std::string source = "none";
+  for (const Evidence& evidence : classification.evidence) {
+    if (evidence.points_to == classification.verdict) {
+      source = evidence.signal;
+      break;
+    }
+  }
+  registry_
+      ->FindOrCreateCounter("robodet_verdict_total",
+                            {{"class", std::string(VerdictName(classification.verdict))},
+                             {"source", source}})
+      ->Inc();
 }
 
 std::string ProxyServer::AbsoluteInstrUrl(const std::string& stem_and_name) const {
@@ -112,20 +217,54 @@ RequestEvent ProxyServer::BuildEvent(const Request& request, const SessionState&
 }
 
 ProxyServer::Result ProxyServer::Handle(const Request& request) {
-  ++stats_.requests;
+  // Observes the full per-request latency on scope exit, whatever path
+  // the request takes below.
+  struct HandleTimer {
+    HistogramMetric* hist;
+    uint64_t t0;
+    ~HandleTimer() {
+      if (hist != nullptr) {
+        hist->Observe(static_cast<double>(MonotonicNanos() - t0) / 1000.0);
+      }
+    }
+  } timer{m_.handle_us, m_.handle_us != nullptr ? MonotonicNanos() : 0};
+
+  IncIfBound(m_.requests);
   const TimeMs now = request.time;
   SessionState* session = sessions_.Touch(SessionKey{request.client_ip,
                                                      std::string(request.UserAgent())},
                                           now);
 
+  // Tail-sampling assist: a session already under a block is always worth
+  // a trace, independent of the 1/N head sample.
+  TraceScope trace_scope(tracer_, request.url.path(), /*force=*/session->blocked());
+  TraceRecorder::Trace* trace = trace_scope.get();
+  if (trace != nullptr) {
+    trace->set_session_id(session->id());
+  }
+
   // Policy gate first: a blocked session stays blocked.
   if (config_.enable_policy) {
-    const PolicyAction action = policy_.Evaluate(*session, JudgeSession(*session), now);
+    Verdict verdict;
+    {
+      SpanScope span(trace, "classify");
+      verdict = JudgeSession(*session);
+    }
+    PolicyAction action;
+    {
+      SpanScope span(trace, "policy");
+      action = policy_.Evaluate(*session, verdict, now);
+    }
     if (action == PolicyAction::kBlock) {
-      ++stats_.blocked_requests;
+      IncIfBound(m_.blocked);
       RequestEvent ev = BuildEvent(request, *session);
       ev.status_class = 4;
       session->RecordRequest(now, ev);
+      // The blocked timeline ends at the policy decision; the bookkeeping
+      // above is not worth a span.
+      if (trace != nullptr) {
+        trace->SetOutcome(true, VerdictName(Verdict::kRobot), "policy");
+      }
       Result result;
       result.response = Blocked();
       result.blocked = true;
@@ -134,7 +273,11 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
     }
   }
 
-  RequestEvent ev = BuildEvent(request, *session);
+  RequestEvent ev;
+  {
+    SpanScope span(trace, "parse");
+    ev = BuildEvent(request, *session);
+  }
   const int index = session->request_count() + 1;  // This request's 1-based index.
 
   if (ev.kind == ResourceKind::kRobotsTxt) {
@@ -143,25 +286,36 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
 
   // Instrumented namespace?
   if (request.url.path().compare(0, config_.instr_prefix.size(), config_.instr_prefix) == 0) {
-    Result result = HandleInstrumented(request, *session, index);
+    Result result;
+    {
+      SpanScope span(trace, "probe_intercept");
+      result = HandleInstrumented(request, *session, index, trace);
+    }
     ev.status_class = static_cast<uint8_t>(StatusValue(result.response.status) / 100);
-    session->RecordRequest(now, ev);
-    session->visited_urls().Insert(request.url.ToString());
+    {
+      SpanScope span(trace, "session_update");
+      session->RecordRequest(now, ev);
+      session->visited_urls().Insert(request.url.ToString());
+    }
     result.session_id = session->id();
-    stats_.instrumentation_bytes += result.response.WireSize();
+    IncIfBound(m_.instr_bytes, result.response.WireSize());
     return result;
   }
 
   // Forward to origin.
-  Response response = origin_(request);
-  stats_.origin_bytes += response.WireSize();
+  Response response;
+  {
+    SpanScope span(trace, "origin_fetch");
+    response = origin_(request);
+  }
+  IncIfBound(m_.origin_bytes, response.WireSize());
 
   // Instrument HTML success responses.
   if (response.IsHtml() && response.status == StatusCode::kOk &&
       request.method == Method::kGet &&
       (config_.enable_human_activity || config_.enable_css_probe ||
        config_.enable_hidden_link)) {
-    response = InstrumentPage(request, *session, std::move(response));
+    response = InstrumentPage(request, *session, std::move(response), trace);
   } else if (response.IsHtml()) {
     // Track links/embeds of uninstrumented HTML too (HEAD bodies excluded).
     if (!response.body.empty()) {
@@ -170,8 +324,11 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
   }
 
   ev.status_class = static_cast<uint8_t>(StatusValue(response.status) / 100);
-  session->RecordRequest(now, ev);
-  session->visited_urls().Insert(request.url.ToString());
+  {
+    SpanScope span(trace, "session_update");
+    session->RecordRequest(now, ev);
+    session->visited_urls().Insert(request.url.ToString());
+  }
 
   Result result;
   result.response = std::move(response);
@@ -180,7 +337,8 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
 }
 
 ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
-                                                    SessionState& session, int request_index) {
+                                                    SessionState& session, int request_index,
+                                                    TraceRecorder::Trace* trace) {
   Result result;
   const std::string& path = request.url.path();
   const std::string& prefix = config_.instr_prefix;
@@ -188,9 +346,10 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
 
   // Beacon script file: js_<token>.js
   if (std::string name = ExtractStemName(path, prefix, "js_", ".js"); !name.empty()) {
+    SpanScope span(trace, "probe:beacon_script");
     if (minter_.Validate(name)) {
       SessionState::MarkSignal(sig.js_download_at, request_index);
-      ++stats_.probe_hits_js_file;
+      IncIfBound(m_.probe_js_file);
       GeneratedBeacon beacon = BuildBeaconForToken(name, nullptr);
       result.response = MakeResponse(StatusCode::kOk, ResourceKind::kJavaScript,
                                      std::move(beacon.script_source));
@@ -203,9 +362,10 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
 
   // CSS probe: cp_<token>.css
   if (std::string name = ExtractStemName(path, prefix, "cp_", ".css"); !name.empty()) {
+    SpanScope span(trace, "probe:css");
     if (minter_.Validate(name)) {
       SessionState::MarkSignal(sig.css_probe_at, request_index);
-      ++stats_.probe_hits_css;
+      IncIfBound(m_.probe_css);
       result.response = EmptyCss();
       return result;
     }
@@ -215,8 +375,10 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
 
   // Silent audio probe: ap_<token>.wav
   if (std::string name = ExtractStemName(path, prefix, "ap_", ".wav"); !name.empty()) {
+    SpanScope span(trace, "probe:audio");
     if (minter_.Validate(name)) {
       SessionState::MarkSignal(sig.audio_probe_at, request_index);
+      IncIfBound(m_.probe_audio);
       result.response = MakeResponse(StatusCode::kOk, ResourceKind::kAudio,
                                      std::string(128, '\0'));
       result.response.headers.Set("Cache-Control", "no-cache, no-store");
@@ -228,6 +390,7 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
 
   // Beacon image: bk_<key>.jpg
   if (std::string key = ExtractBeaconKey(path, prefix); !key.empty()) {
+    SpanScope span(trace, "probe:beacon_key");
     if (keys().MatchAndConsume(request.client_ip, key, request.time)) {
       // §4.1 extension: an attested event proves a physical input device;
       // when attestation is required, a bare key match proves only that
@@ -250,10 +413,12 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
       } else {
         SessionState::MarkSignal(sig.mouse_event_at, request_index);
       }
-      ++stats_.beacon_hits_ok;
+      IncIfBound(m_.beacon_ok);
+      span.Annotate("key=match");
     } else {
       SessionState::MarkSignal(sig.wrong_key_at, request_index);
-      ++stats_.beacon_hits_wrong;
+      IncIfBound(m_.beacon_wrong);
+      span.Annotate("key=wrong");
     }
     // "The server can respond with any JPEG image because the picture is
     // not used."
@@ -263,9 +428,10 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
 
   // UA echo: ua_<token>_<agent>.css
   if (std::string token = ExtractUaEchoToken(path, prefix); !token.empty()) {
+    SpanScope span(trace, "probe:ua_echo");
     if (minter_.Validate(token)) {
       SessionState::MarkSignal(sig.js_executed_at, request_index);
-      ++stats_.ua_echo_hits;
+      IncIfBound(m_.ua_echo);
       sig.ua_echo_agent = ExtractUaEchoAgent(path, prefix);
       const std::string header_agent = SanitizeAgent(request.UserAgent());
       if (!sig.ua_echo_agent.empty() && sig.ua_echo_agent != header_agent) {
@@ -278,9 +444,10 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
 
   // Hidden link target: hl_<token>.html
   if (std::string name = ExtractStemName(path, prefix, "hl_", ".html"); !name.empty()) {
+    SpanScope span(trace, "probe:hidden_link");
     if (minter_.Validate(name)) {
       SessionState::MarkSignal(sig.hidden_link_at, request_index);
-      ++stats_.hidden_link_hits;
+      IncIfBound(m_.hidden_link);
     }
     result.response = MakeResponse(StatusCode::kOk, ResourceKind::kHtml,
                                    "<html><body></body></html>");
@@ -308,6 +475,7 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
       return result;
     }
     if (std::string token = ExtractStemName(path, prefix, "captcha_", ".cgi"); !token.empty()) {
+      SpanScope span(trace, "probe:captcha");
       std::string answer;
       constexpr std::string_view kAns = "ans=";
       const std::string& query = request.url.query();
@@ -316,11 +484,11 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
       }
       if (captcha_.CheckAnswer(token, answer)) {
         SessionState::MarkSignal(sig.captcha_passed_at, request_index);
-        ++stats_.captcha_passes;
+        IncIfBound(m_.captcha_pass);
         result.response = MakeHtmlResponse("<html><body>Verified.</body></html>");
       } else {
         SessionState::MarkSignal(sig.captcha_failed_at, request_index);
-        ++stats_.captcha_failures;
+        IncIfBound(m_.captcha_fail);
         result.response = MakeResponse(StatusCode::kForbidden, ResourceKind::kHtml,
                                        "<html><body>Wrong answer.</body></html>");
       }
@@ -334,7 +502,8 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
 }
 
 Response ProxyServer::InstrumentPage(const Request& request, SessionState& session,
-                                     Response response) {
+                                     Response response, TraceRecorder::Trace* trace) {
+  SpanScope span(trace, "rewrite_inject");
   InjectionPlan plan;
 
   std::string real_key;
@@ -364,7 +533,12 @@ Response ProxyServer::InstrumentPage(const Request& request, SessionState& sessi
     plan.transparent_image_url = AbsoluteInstrUrl("ti.jpg");
   }
 
+  const uint64_t rewrite_start = m_.rewrite_us != nullptr ? MonotonicNanos() : 0;
   InjectionResult injected = InstrumentHtml(response.body, plan);
+  if (m_.rewrite_us != nullptr) {
+    m_.rewrite_us->Observe(static_cast<double>(MonotonicNanos() - rewrite_start) / 1000.0);
+  }
+  span.Annotate("added_bytes=" + std::to_string(injected.added_bytes));
   response.body = std::move(injected.html);
   response.headers.Set("Content-Length", std::to_string(response.body.size()));
   // "To prevent caching the JavaScript file at the client browser, the
@@ -372,8 +546,8 @@ Response ProxyServer::InstrumentPage(const Request& request, SessionState& sessi
   // since each serving carries fresh keys.
   response.headers.Set("Cache-Control", "no-cache, no-store");
 
-  stats_.instrumentation_bytes += injected.added_bytes;
-  ++stats_.pages_instrumented;
+  IncIfBound(m_.instr_bytes, injected.added_bytes);
+  IncIfBound(m_.pages_instrumented);
   session.NoteInstrumentedPage();
 
   RegisterServedContent(request, session, response.body);

@@ -12,9 +12,12 @@
 #include <string>
 
 #include "src/core/attestation.h"
+#include "src/core/combined_classifier.h"
 #include "src/core/verdict.h"
 #include "src/http/request.h"
 #include "src/js/generator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/proxy/captcha.h"
 #include "src/proxy/key_table.h"
 #include "src/proxy/policy.h"
@@ -63,9 +66,17 @@ struct ProxyConfig {
   SessionTable::Config session;
   KeyTable::Config keys;
 
+  // Observability. With metrics off, no registry is populated and the
+  // ProxyStats compatibility view reads all-zero (only the overhead
+  // bench runs that way).
+  bool enable_metrics = true;
+
   uint64_t secret = 0x726f626f64657431ULL;
 };
 
+// Legacy aggregate counters. Since the obs subsystem landed this is a
+// *view* materialized from the MetricsRegistry on each stats() call; the
+// proxy itself only writes registry counters.
 struct ProxyStats {
   uint64_t requests = 0;
   uint64_t blocked_requests = 0;
@@ -127,9 +138,27 @@ class ProxyServer {
   // issued by any node validates on any other (see sim/cluster.h and the
   // ablation_cluster bench for why). The table must outlive this server.
   void UseSharedKeyTable(KeyTable* table) { shared_keys_ = table; }
-  const ProxyStats& stats() const { return stats_; }
+  // Compatibility view over the registry (see ProxyStats).
+  ProxyStats stats() const;
   const ProxyConfig& config() const { return config_; }
   CaptchaService& captcha() { return captcha_; }
+
+  // The registry this proxy reports into. Owned by default; multi-node
+  // deployments can aggregate by sharing one registry across nodes.
+  MetricsRegistry& metrics() { return *registry_; }
+  const MetricsRegistry& metrics() const { return *registry_; }
+  void UseSharedMetrics(MetricsRegistry* registry);
+
+  // Optional request tracing; nullptr (the default) disables it. The
+  // recorder must outlive this server.
+  void set_trace_recorder(TraceRecorder* recorder) { tracer_ = recorder; }
+  TraceRecorder* trace_recorder() const { return tracer_; }
+
+  // Judges a session with the configured judge (or the default combined
+  // classifier) and records robodet_verdict_total{class,source}. The
+  // source label is the signal behind the verdict's first matching piece
+  // of evidence ("wrong_beacon_key", "css_probe_fetched", ...).
+  Classification ClassifySession(const SessionState& session);
 
   void set_robot_judge(RobotJudge judge) { robot_judge_ = std::move(judge); }
 
@@ -139,13 +168,37 @@ class ProxyServer {
   }
 
  private:
-  Result HandleInstrumented(const Request& request, SessionState& session, int request_index);
-  Response InstrumentPage(const Request& request, SessionState& session, Response response);
+  Result HandleInstrumented(const Request& request, SessionState& session, int request_index,
+                            TraceRecorder::Trace* trace);
+  Response InstrumentPage(const Request& request, SessionState& session, Response response,
+                          TraceRecorder::Trace* trace);
   void RegisterServedContent(const Request& request, SessionState& session,
                              const std::string& html);
   RequestEvent BuildEvent(const Request& request, const SessionState& session) const;
   std::string AbsoluteInstrUrl(const std::string& stem_and_name) const;
   Verdict JudgeSession(const SessionState& session) const;
+  void BindMetrics();
+  void RecordVerdict(const Classification& classification);
+
+  // Pre-resolved handles so the request path never does a registry lookup.
+  struct Handles {
+    Counter* requests = nullptr;
+    Counter* blocked = nullptr;
+    Counter* pages_instrumented = nullptr;
+    Counter* probe_css = nullptr;
+    Counter* probe_js_file = nullptr;
+    Counter* probe_audio = nullptr;
+    Counter* beacon_ok = nullptr;
+    Counter* beacon_wrong = nullptr;
+    Counter* ua_echo = nullptr;
+    Counter* hidden_link = nullptr;
+    Counter* captcha_pass = nullptr;
+    Counter* captcha_fail = nullptr;
+    Counter* origin_bytes = nullptr;
+    Counter* instr_bytes = nullptr;
+    HistogramMetric* handle_us = nullptr;
+    HistogramMetric* rewrite_us = nullptr;
+  };
 
   ProxyConfig config_;
   SimClock* clock_;  // Not owned.
@@ -158,8 +211,12 @@ class ProxyServer {
   PolicyEngine policy_;
   CaptchaService captcha_;
   RobotJudge robot_judge_;
+  CombinedClassifier default_classifier_;
   const AttestationAuthority* attestation_ = nullptr;  // Not owned.
-  ProxyStats stats_;
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  MetricsRegistry* registry_;  // Points at owned_registry_ unless shared.
+  Handles m_;
+  TraceRecorder* tracer_ = nullptr;  // Not owned; nullptr = no tracing.
 };
 
 }  // namespace robodet

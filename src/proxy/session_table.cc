@@ -4,6 +4,29 @@
 
 namespace robodet {
 
+void SessionTable::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.opened = registry->FindOrCreateCounter("robodet_sessions_opened_total");
+  metrics_.closed_split =
+      registry->FindOrCreateCounter("robodet_sessions_closed_total", {{"reason", "split"}});
+  metrics_.closed_idle =
+      registry->FindOrCreateCounter("robodet_sessions_closed_total", {{"reason", "idle"}});
+  metrics_.closed_evicted =
+      registry->FindOrCreateCounter("robodet_sessions_closed_total", {{"reason", "evicted"}});
+  metrics_.closed_shutdown =
+      registry->FindOrCreateCounter("robodet_sessions_closed_total", {{"reason", "shutdown"}});
+  metrics_.active = registry->FindOrCreateGauge("robodet_sessions_active");
+}
+
+void SessionTable::UpdateActiveGauge() {
+  if (metrics_.active != nullptr) {
+    metrics_.active->Set(static_cast<int64_t>(sessions_.size()));
+  }
+}
+
 SessionState* SessionTable::Touch(const SessionKey& key, TimeMs now) {
   auto it = sessions_.find(key);
   if (it != sessions_.end()) {
@@ -13,7 +36,7 @@ SessionState* SessionTable::Touch(const SessionKey& key, TimeMs now) {
     }
     // Idle too long: close the old session and fall through to create a
     // fresh one for the same key.
-    Close(it);
+    Close(it, metrics_.closed_split);
   }
   if (sessions_.size() >= config_.max_active_sessions) {
     EvictStalest();
@@ -21,13 +44,18 @@ SessionState* SessionTable::Touch(const SessionKey& key, TimeMs now) {
   auto fresh = std::make_unique<SessionState>(next_id_++, key, now);
   SessionState* raw = fresh.get();
   sessions_.emplace(key, std::move(fresh));
+  IncIfBound(metrics_.opened);
+  UpdateActiveGauge();
   return raw;
 }
 
 void SessionTable::Close(
-    std::unordered_map<SessionKey, std::unique_ptr<SessionState>, SessionKeyHash>::iterator it) {
+    std::unordered_map<SessionKey, std::unique_ptr<SessionState>, SessionKeyHash>::iterator it,
+    Counter* reason) {
   std::unique_ptr<SessionState> closed = std::move(it->second);
   sessions_.erase(it);
+  IncIfBound(reason);
+  UpdateActiveGauge();
   if (on_closed_) {
     on_closed_(std::move(closed));
   }
@@ -41,7 +69,7 @@ void SessionTable::CloseIdle(TimeMs now) {
     }
   }
   for (const SessionKey& key : stale) {
-    Close(sessions_.find(key));
+    Close(sessions_.find(key), metrics_.closed_idle);
   }
 }
 
@@ -53,7 +81,7 @@ void SessionTable::CloseAll() {
     keys.push_back(key);
   }
   for (const SessionKey& key : keys) {
-    Close(sessions_.find(key));
+    Close(sessions_.find(key), metrics_.closed_shutdown);
   }
 }
 
@@ -67,7 +95,7 @@ void SessionTable::EvictStalest() {
       stalest = it;
     }
   }
-  Close(stalest);
+  Close(stalest, metrics_.closed_evicted);
 }
 
 }  // namespace robodet

@@ -10,6 +10,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "src/obs/metrics.h"
 #include "src/proxy/session.h"
 
 namespace robodet {
@@ -44,12 +45,29 @@ class SessionTable {
   size_t active_count() const { return sessions_.size(); }
   uint64_t total_created() const { return next_id_ - 1; }
 
+  // Mirrors open/close/evict activity into `registry` under
+  // robodet_sessions_*; closes are labeled by reason (split, idle,
+  // evicted, shutdown). Call once at wiring time.
+  void BindMetrics(MetricsRegistry* registry);
+
  private:
   void Close(std::unordered_map<SessionKey, std::unique_ptr<SessionState>,
-                                SessionKeyHash>::iterator it);
+                                SessionKeyHash>::iterator it,
+             Counter* reason);
   void EvictStalest();
+  void UpdateActiveGauge();
+
+  struct Metrics {
+    Counter* opened = nullptr;
+    Counter* closed_split = nullptr;
+    Counter* closed_idle = nullptr;
+    Counter* closed_evicted = nullptr;
+    Counter* closed_shutdown = nullptr;
+    Gauge* active = nullptr;
+  };
 
   Config config_;
+  Metrics metrics_;
   ClosedCallback on_closed_;
   std::unordered_map<SessionKey, std::unique_ptr<SessionState>, SessionKeyHash> sessions_;
   uint64_t next_id_ = 1;

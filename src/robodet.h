@@ -4,6 +4,7 @@
 //
 // Layering (each layer only depends on those above it):
 //   util  — rng, clock, stats, strings, hashing, logging
+//   obs   — metrics registry, request tracing, Prometheus/JSON exporters
 //   http  — methods, status codes, headers, URLs, request/response records
 //   html  — tokenizer, document model, instrumentation injector
 //   js    — beacon generator, obfuscator, lexer/parser/interpreter
@@ -43,6 +44,9 @@
 #include "src/ml/features.h"
 #include "src/ml/metrics.h"
 #include "src/ml/naive_bayes.h"
+#include "src/obs/exporters.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/proxy/captcha.h"
 #include "src/proxy/key_table.h"
 #include "src/proxy/policy.h"

@@ -2,6 +2,40 @@
 
 namespace robodet {
 
+void Gateway::BindMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.ok =
+      registry->FindOrCreateCounter("robodet_gateway_fetches_total", {{"outcome", "ok"}});
+  metrics_.blocked =
+      registry->FindOrCreateCounter("robodet_gateway_fetches_total", {{"outcome", "blocked"}});
+  metrics_.redirect =
+      registry->FindOrCreateCounter("robodet_gateway_fetches_total", {{"outcome", "redirect"}});
+  metrics_.error =
+      registry->FindOrCreateCounter("robodet_gateway_fetches_total", {{"outcome", "error"}});
+}
+
+void Gateway::RecordOutcome(const ProxyServer::Result& result, FetchStats* stats) {
+  if (stats != nullptr) {
+    ++stats->requests;
+  }
+  if (result.blocked) {
+    if (stats != nullptr) ++stats->blocked;
+    IncIfBound(metrics_.blocked);
+  } else if (Is3xx(result.response.status)) {
+    if (stats != nullptr) ++stats->redirects;
+    IncIfBound(metrics_.redirect);
+  } else if (Is4xx(result.response.status) || Is5xx(result.response.status)) {
+    if (stats != nullptr) ++stats->errors;
+    IncIfBound(metrics_.error);
+  } else {
+    if (stats != nullptr) ++stats->ok;
+    IncIfBound(metrics_.ok);
+  }
+}
+
 Gateway::FetchResult Gateway::Fetch(const ClientIdentity& id, Method method, const Url& url,
                                     std::string_view referrer, FetchStats* stats,
                                     const Headers* extra_headers) {
@@ -23,18 +57,7 @@ Gateway::FetchResult Gateway::Fetch(const ClientIdentity& id, Method method, con
 
   ProxyServer* target = router_ ? router_(id) : proxy_;
   ProxyServer::Result result = target->Handle(request);
-  if (stats != nullptr) {
-    ++stats->requests;
-    if (result.blocked) {
-      ++stats->blocked;
-    } else if (Is3xx(result.response.status)) {
-      ++stats->redirects;
-    } else if (Is4xx(result.response.status) || Is5xx(result.response.status)) {
-      ++stats->errors;
-    } else {
-      ++stats->ok;
-    }
-  }
+  RecordOutcome(result, stats);
   FetchResult out;
   out.response = std::move(result.response);
   out.blocked = result.blocked;
@@ -60,18 +83,7 @@ Gateway::FetchResult Gateway::Post(const ClientIdentity& id, const Url& url,
 
   ProxyServer* target = router_ ? router_(id) : proxy_;
   ProxyServer::Result result = target->Handle(request);
-  if (stats != nullptr) {
-    ++stats->requests;
-    if (result.blocked) {
-      ++stats->blocked;
-    } else if (Is3xx(result.response.status)) {
-      ++stats->redirects;
-    } else if (Is4xx(result.response.status) || Is5xx(result.response.status)) {
-      ++stats->errors;
-    } else {
-      ++stats->ok;
-    }
-  }
+  RecordOutcome(result, stats);
   FetchResult out;
   out.response = std::move(result.response);
   out.blocked = result.blocked;

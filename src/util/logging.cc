@@ -2,11 +2,14 @@
 
 #include <cstdio>
 
+#include "src/util/strings.h"
+
 namespace robodet {
 namespace {
 
 LogLevel g_level = LogLevel::kWarning;
 LogSink g_sink;
+StructuredLogSink g_structured_sink;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,6 +27,21 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// "message key=value key2=value2" for sinks that only take text. Matches
+// the message byte-for-byte when the record carries no fields.
+std::string Flatten(const LogRecord& record) {
+  std::string out = record.message;
+  for (const LogField& field : record.fields) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += field.key;
+    out += '=';
+    out += field.value;
+  }
+  return out;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level = level; }
@@ -32,15 +50,52 @@ LogLevel GetLogLevel() { return g_level; }
 
 void SetLogSink(LogSink sink) { g_sink = std::move(sink); }
 
+void SetStructuredLogSink(StructuredLogSink sink) { g_structured_sink = std::move(sink); }
+
+StructuredLogSink JsonLinesSink(std::FILE* out) {
+  return [out](const LogRecord& record) {
+    std::string line = "{\"level\":\"";
+    line += LevelName(record.level);
+    line += "\",\"msg\":\"";
+    line += JsonEscape(record.message);
+    line += '"';
+    for (const LogField& field : record.fields) {
+      line += ",\"";
+      line += JsonEscape(field.key);
+      line += "\":";
+      if (field.quoted) {
+        line += '"';
+        line += JsonEscape(field.value);
+        line += '"';
+      } else {
+        line += field.value;
+      }
+    }
+    line += "}\n";
+    std::fwrite(line.data(), 1, line.size(), out);
+  };
+}
+
 void LogMessage(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  LogRecord record;
+  record.level = level;
+  record.message = msg;
+  LogRecordMessage(std::move(record));
+}
+
+void LogRecordMessage(LogRecord record) {
+  if (static_cast<int>(record.level) < static_cast<int>(g_level)) {
+    return;
+  }
+  if (g_structured_sink) {
+    g_structured_sink(record);
     return;
   }
   if (g_sink) {
-    g_sink(level, msg);
+    g_sink(record.level, Flatten(record));
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  std::fprintf(stderr, "[%s] %s\n", LevelName(record.level), Flatten(record).c_str());
 }
 
 }  // namespace robodet

@@ -1,11 +1,23 @@
 // Minimal leveled logging to stderr. Benchmarks and examples set the level;
 // the library defaults to warnings only so tests stay quiet.
+//
+// Two sink layers:
+//   - SetLogSink: legacy flat sink, receives the formatted message text.
+//   - SetStructuredLogSink: receives full LogRecords (message + typed
+//     key/value fields). JsonLinesSink() is a ready-made structured sink
+//     that writes one JSON object per line.
+// When both are set the structured sink wins; fields are flattened to
+// "msg key=value ..." for the flat paths so nothing is lost either way.
 #ifndef ROBODET_SRC_UTIL_LOGGING_H_
 #define ROBODET_SRC_UTIL_LOGGING_H_
 
+#include <cstdio>
 #include <functional>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace robodet {
 
@@ -26,15 +38,44 @@ LogLevel GetLogLevel();
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 void SetLogSink(LogSink sink);
 
+// One key/value attachment on a record. `quoted` is false for values that
+// are valid bare JSON tokens (numbers, true/false) and true for strings.
+struct LogField {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+};
+
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string message;
+  std::vector<LogField> fields;
+};
+
+// Structured sink; takes precedence over the flat LogSink when set.
+using StructuredLogSink = std::function<void(const LogRecord&)>;
+void SetStructuredLogSink(StructuredLogSink sink);
+
+// Builds a structured sink that writes JSON Lines to `out` (one object
+// per record: {"level":"INFO","msg":"...",<fields...>}). Field keys land
+// at the top level, so avoid naming a field "level" or "msg".
+StructuredLogSink JsonLinesSink(std::FILE* out);
+
 // Emits one line ("[LEVEL] message" on the default stderr sink).
 void LogMessage(LogLevel level, const std::string& msg);
+
+// Emits a full record: structured sink if set, otherwise flattened.
+void LogRecordMessage(LogRecord record);
 
 namespace internal {
 
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { LogMessage(level_, stream_.str()); }
+  explicit LogLine(LogLevel level) { record_.level = level; }
+  ~LogLine() {
+    record_.message = stream_.str();
+    LogRecordMessage(std::move(record_));
+  }
 
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
@@ -45,8 +86,31 @@ class LogLine {
     return *this;
   }
 
+  // Structured attachments, e.g.:
+  //   ROBODET_LOG(kInfo).With("session", id).With("verdict", "robot")
+  //       << "classified";
+  LogLine& With(std::string key, std::string value) {
+    record_.fields.push_back({std::move(key), std::move(value), /*quoted=*/true});
+    return *this;
+  }
+  LogLine& With(std::string key, const char* value) {
+    return With(std::move(key), std::string(value));
+  }
+  LogLine& With(std::string key, bool value) {
+    record_.fields.push_back({std::move(key), value ? "true" : "false", /*quoted=*/false});
+    return *this;
+  }
+  template <typename T, std::enable_if_t<std::is_arithmetic_v<T> && !std::is_same_v<T, bool>,
+                                         int> = 0>
+  LogLine& With(std::string key, T value) {
+    std::ostringstream os;
+    os << value;
+    record_.fields.push_back({std::move(key), os.str(), /*quoted=*/false});
+    return *this;
+  }
+
  private:
-  LogLevel level_;
+  LogRecord record_;
   std::ostringstream stream_;
 };
 

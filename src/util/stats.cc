@@ -20,6 +20,17 @@ void RunningStats::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+RunningStats::Snapshot RunningStats::TakeSnapshot() const {
+  Snapshot s;
+  s.count = count_;
+  s.mean = mean();
+  s.variance = variance();
+  s.stddev = stddev();
+  s.min = min();
+  s.max = max();
+  return s;
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) {
     return 0.0;
@@ -108,6 +119,27 @@ void Histogram::Add(double x) {
 
 double Histogram::BucketLow(size_t i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const uint64_t next = cumulative + counts_[i];
+    if (static_cast<double>(next) >= target && counts_[i] > 0) {
+      // Interpolate within [BucketLow(i), BucketHigh(i)] by how far into
+      // this bucket's mass the target falls.
+      const double into =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(counts_[i]);
+      return BucketLow(i) + (BucketHigh(i) - BucketLow(i)) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return hi_;
 }
 
 std::string Histogram::Render(size_t width) const {

@@ -15,7 +15,20 @@ namespace robodet {
 // storing the samples.
 class RunningStats {
  public:
+  // Point-in-time copy of the moments, cheap to pass across threads or
+  // store alongside other scrape output.
+  struct Snapshot {
+    size_t count = 0;
+    double mean = 0.0;
+    double variance = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void Add(double x);
+
+  Snapshot TakeSnapshot() const;
 
   size_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
@@ -70,7 +83,14 @@ class Histogram {
   size_t bucket_count() const { return counts_.size(); }
   uint64_t bucket(size_t i) const { return counts_[i]; }
   double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const { return BucketLow(i + 1); }
   uint64_t total() const { return total_; }
+
+  // Approximate quantile (q in [0,1]) by linear interpolation inside the
+  // bucket where the cumulative count crosses q*total. Empty histogram
+  // returns 0. Median() is Quantile(0.5).
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
 
   // ASCII rendering for terminal reports, `width` columns for the bars.
   std::string Render(size_t width) const;

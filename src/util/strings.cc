@@ -1,6 +1,7 @@
 #include "src/util/strings.h"
 
 #include <cctype>
+#include <cstdio>
 
 namespace robodet {
 
@@ -118,6 +119,39 @@ std::string ReplaceAll(std::string_view s, std::string_view from, std::string_vi
     out += to;
     pos = hit + from.size();
   }
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace robodet

@@ -34,6 +34,10 @@ bool ContainsIgnoreCase(std::string_view s, std::string_view needle);
 // Replaces every occurrence of `from` (non-empty) with `to`.
 std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
 
+// Escapes `s` for use inside a double-quoted JSON string (quotes,
+// backslashes, control characters). Does not add the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace robodet
 
 #endif  // ROBODET_SRC_UTIL_STRINGS_H_

@@ -1,0 +1,111 @@
+#include "src/obs/exporters.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace robodet {
+namespace {
+
+TEST(ExportPrometheusTest, GoldenOutput) {
+  MetricsRegistry registry;
+  registry.FindOrCreateCounter("rd_hits_total", {{"kind", "css"}})->Inc(3);
+  registry.FindOrCreateCounter("rd_hits_total", {{"kind", "js"}})->Inc(1);
+  registry.FindOrCreateGauge("rd_sessions_active")->Set(2);
+  HistogramMetric* h = registry.FindOrCreateHistogram("rd_lat_us", {1.0, 2.0, 4.0});
+  h->Observe(0.5);
+  h->Observe(3.0);
+  h->Observe(9.0);
+
+  const std::string got = ExportPrometheus(registry.Scrape());
+  const std::string want =
+      "# TYPE rd_hits_total counter\n"
+      "rd_hits_total{kind=\"css\"} 3\n"
+      "rd_hits_total{kind=\"js\"} 1\n"
+      "# TYPE rd_lat_us histogram\n"
+      "rd_lat_us_bucket{le=\"1\"} 1\n"
+      "rd_lat_us_bucket{le=\"2\"} 1\n"
+      "rd_lat_us_bucket{le=\"4\"} 2\n"
+      "rd_lat_us_bucket{le=\"+Inf\"} 3\n"
+      "rd_lat_us_sum 12.5\n"
+      "rd_lat_us_count 3\n"
+      "# TYPE rd_sessions_active gauge\n"
+      "rd_sessions_active 2\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(ExportPrometheusTest, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.FindOrCreateCounter("rd_paths_total", {{"path", "a\"b\\c\nd"}})->Inc();
+  const std::string got = ExportPrometheus(registry.Scrape());
+  EXPECT_NE(got.find("rd_paths_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(ExportJsonTest, GoldenOutput) {
+  MetricsRegistry registry;
+  registry.FindOrCreateCounter("rd_hits_total", {{"kind", "css"}})->Inc(3);
+  registry.FindOrCreateGauge("rd_sessions_active")->Set(-1);
+  HistogramMetric* h = registry.FindOrCreateHistogram("rd_lat_us", {1.0, 2.0});
+  h->Observe(1.5);
+
+  const std::string got = ExportJson(registry.Scrape());
+  const std::string want =
+      "{\"metrics\":["
+      "{\"name\":\"rd_hits_total\",\"kind\":\"counter\","
+      "\"labels\":{\"kind\":\"css\"},\"value\":3},"
+      "{\"name\":\"rd_lat_us\",\"kind\":\"histogram\",\"labels\":{},"
+      "\"count\":1,\"sum\":1.5,\"buckets\":["
+      "{\"le\":1,\"count\":0},{\"le\":2,\"count\":1},{\"le\":\"+Inf\",\"count\":0}]},"
+      "{\"name\":\"rd_sessions_active\",\"kind\":\"gauge\",\"labels\":{},\"value\":-1}"
+      "]}";
+  EXPECT_EQ(got, want);
+}
+
+TEST(FormatTraceTextTest, GoldenOutput) {
+  RequestTrace trace;
+  trace.trace_id = 9;
+  trace.session_id = 4;
+  trace.path = "/p/1.html";
+  trace.duration_ns = 12345;
+  trace.blocked = true;
+  trace.verdict = "robot";
+  trace.verdict_source = "policy";
+  trace.forced = true;
+  trace.spans.push_back({"classify", 0, 1500, 0, ""});
+  trace.spans.push_back({"policy", 0, 800, 1, "threshold=get_rate"});
+
+  const std::string got = FormatTraceText(trace);
+  const std::string want =
+      "trace 9 path=/p/1.html session=4 verdict=robot source=policy blocked forced "
+      "total=12.3us\n"
+      "  classify                 1.5us\n"
+      "    policy                   0.8us [threshold=get_rate]\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(ExportTracesJsonTest, GoldenOutput) {
+  RequestTrace trace;
+  trace.trace_id = 2;
+  trace.session_id = 1;
+  trace.path = "/x";
+  trace.duration_ns = 500;
+  trace.verdict = "human";
+  trace.spans.push_back({"parse", 0, 100, 0, "bytes=64"});
+
+  const std::string got = ExportTracesJson({trace});
+  const std::string want =
+      "{\"traces\":[{\"trace_id\":2,\"session_id\":1,\"path\":\"/x\","
+      "\"duration_ns\":500,\"blocked\":false,\"verdict\":\"human\","
+      "\"verdict_source\":\"\",\"spans\":["
+      "{\"name\":\"parse\",\"depth\":0,\"duration_ns\":100,\"note\":\"bytes=64\"}]}]}";
+  EXPECT_EQ(got, want);
+}
+
+TEST(ExportTracesJsonTest, EmptyListIsValid) {
+  EXPECT_EQ(ExportTracesJson({}), "{\"traces\":[]}");
+}
+
+}  // namespace
+}  // namespace robodet

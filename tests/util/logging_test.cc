@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 namespace robodet {
@@ -52,6 +54,91 @@ TEST_F(LoggingTest, MacroStreamsAndConcatenates) {
 TEST_F(LoggingTest, SetAndGetLevelRoundTrip) {
   SetLogLevel(LogLevel::kError);
   EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, WithFieldsFlattenForLegacySink) {
+  SetLogLevel(LogLevel::kDebug);
+  ROBODET_LOG(kInfo).With("session", 7).With("verdict", "robot") << "classified";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "classified session=7 verdict=robot");
+}
+
+class StructuredLoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = GetLogLevel();
+    SetLogLevel(LogLevel::kDebug);
+    SetStructuredLogSink([this](const LogRecord& record) { captured_.push_back(record); });
+  }
+  void TearDown() override {
+    SetStructuredLogSink(nullptr);
+    SetLogLevel(saved_level_);
+  }
+
+  LogLevel saved_level_ = LogLevel::kWarning;
+  std::vector<LogRecord> captured_;
+};
+
+TEST_F(StructuredLoggingTest, ReceivesMessageAndTypedFields) {
+  ROBODET_LOG(kWarning)
+      .With("path", "/p/1.html")
+      .With("requests", 42)
+      .With("rate", 1.5)
+      .With("blocked", true)
+      << "policy tripped";
+  ASSERT_EQ(captured_.size(), 1u);
+  const LogRecord& r = captured_[0];
+  EXPECT_EQ(r.level, LogLevel::kWarning);
+  EXPECT_EQ(r.message, "policy tripped");
+  ASSERT_EQ(r.fields.size(), 4u);
+  EXPECT_EQ(r.fields[0].key, "path");
+  EXPECT_EQ(r.fields[0].value, "/p/1.html");
+  EXPECT_TRUE(r.fields[0].quoted);
+  EXPECT_EQ(r.fields[1].value, "42");
+  EXPECT_FALSE(r.fields[1].quoted);
+  EXPECT_EQ(r.fields[2].value, "1.5");
+  EXPECT_FALSE(r.fields[2].quoted);
+  EXPECT_EQ(r.fields[3].value, "true");
+  EXPECT_FALSE(r.fields[3].quoted);
+}
+
+TEST_F(StructuredLoggingTest, TakesPrecedenceOverLegacySink) {
+  bool legacy_called = false;
+  SetLogSink([&legacy_called](LogLevel, const std::string&) { legacy_called = true; });
+  LogMessage(LogLevel::kError, "hello");
+  SetLogSink(nullptr);
+  EXPECT_FALSE(legacy_called);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].message, "hello");
+}
+
+TEST_F(StructuredLoggingTest, RespectsLevelFilter) {
+  SetLogLevel(LogLevel::kError);
+  ROBODET_LOG(kInfo) << "dropped";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST(JsonLinesSinkTest, WritesOneJsonObjectPerRecord) {
+  char* buffer = nullptr;
+  size_t size = 0;
+  std::FILE* stream = open_memstream(&buffer, &size);
+  ASSERT_NE(stream, nullptr);
+  const StructuredLogSink sink = JsonLinesSink(stream);
+
+  LogRecord record;
+  record.level = LogLevel::kInfo;
+  record.message = "got \"quote\"\nand newline";
+  record.fields.push_back({"kind", "css", /*quoted=*/true});
+  record.fields.push_back({"count", "3", /*quoted=*/false});
+  sink(record);
+  std::fflush(stream);
+
+  const std::string got(buffer, size);
+  EXPECT_EQ(got,
+            "{\"level\":\"INFO\",\"msg\":\"got \\\"quote\\\"\\nand newline\","
+            "\"kind\":\"css\",\"count\":3}\n");
+  std::fclose(stream);
+  free(buffer);
 }
 
 }  // namespace

@@ -37,6 +37,32 @@ TEST(RunningStatsTest, SingleValue) {
   EXPECT_EQ(s.stddev(), 0.0);
 }
 
+TEST(RunningStatsTest, SnapshotMirrorsAccessors) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  const RunningStats::Snapshot snap = s.TakeSnapshot();
+  EXPECT_EQ(snap.count, s.count());
+  EXPECT_DOUBLE_EQ(snap.mean, s.mean());
+  EXPECT_DOUBLE_EQ(snap.variance, s.variance());
+  EXPECT_DOUBLE_EQ(snap.stddev, s.stddev());
+  EXPECT_DOUBLE_EQ(snap.min, s.min());
+  EXPECT_DOUBLE_EQ(snap.max, s.max());
+  // A snapshot is a copy: later additions do not change it.
+  s.Add(1000.0);
+  EXPECT_EQ(snap.count, 8u);
+  EXPECT_DOUBLE_EQ(snap.max, 9.0);
+}
+
+TEST(RunningStatsTest, EmptySnapshotIsZero) {
+  const RunningStats::Snapshot snap = RunningStats().TakeSnapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.mean, 0.0);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+}
+
 TEST(EmpiricalCdfTest, QuantileNearestRank) {
   EmpiricalCdf cdf;
   for (int i = 1; i <= 100; ++i) {
@@ -98,6 +124,29 @@ TEST(HistogramTest, BucketsAndClamping) {
   EXPECT_EQ(h.bucket(9), 2u);
   EXPECT_EQ(h.bucket(5), 0u);
   EXPECT_DOUBLE_EQ(h.BucketLow(5), 5.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(static_cast<double>(i) + 0.5);  // Uniform over [0, 100).
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 10.0);
+  EXPECT_NEAR(h.Median(), h.Quantile(0.5), 1e-12);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, QuantileEmptyAndSingleBucket) {
+  Histogram empty(0.0, 1.0, 4);
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+  Histogram h(0.0, 10.0, 10);
+  h.Add(3.5);
+  h.Add(3.6);
+  // All mass in bucket [3, 4): every quantile lands inside it.
+  EXPECT_GE(h.Quantile(0.01), 3.0);
+  EXPECT_LE(h.Quantile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(3), 4.0);
 }
 
 TEST(HistogramTest, RenderProducesLinePerBucket) {

@@ -6,8 +6,11 @@
 //
 // Usage:
 //   robodet_analyze --sessions=sessions.csv --events=events.csv
-//       [--min-requests=10] [--ml] [--rounds=200]
+//       [--min-requests=10] [--ml] [--rounds=200] [--json-logs]
 //   robodet_analyze --clf=access.log           # replay a real access log
+//
+// --json-logs mirrors the analysis milestones to stderr as JSON Lines
+// (machine-readable; the human report on stdout is unchanged).
 #include <cstdio>
 
 #include "src/robodet.h"
@@ -21,8 +24,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s", flags.errors().c_str());
     std::fprintf(stderr,
                  "usage: robodet_analyze --sessions=F --events=F "
-                 "[--min-requests=10] [--ml] [--rounds=200]\n");
+                 "[--min-requests=10] [--ml] [--rounds=200] [--json-logs]\n");
     return flags.GetBool("help") ? 0 : 2;
+  }
+
+  const bool json_logs = flags.GetBool("json-logs");
+  if (json_logs) {
+    SetStructuredLogSink(JsonLinesSink(stderr));
+    SetLogLevel(LogLevel::kInfo);
   }
 
   std::vector<SessionRecord> log;
@@ -56,6 +65,13 @@ int main(int argc, char** argv) {
   }
   std::printf("loaded %zu sessions (%zu with >%d requests)\n\n", log.size(), sessions.size(),
               min_requests);
+  if (json_logs) {
+    ROBODET_LOG(kInfo)
+        .With("sessions_total", log.size())
+        .With("sessions_analyzed", sessions.size())
+        .With("min_requests", min_requests)
+        << "loaded";
+  }
   if (sessions.empty()) {
     return 0;
   }
@@ -84,6 +100,16 @@ int main(int argc, char** argv) {
   std::printf("  passed CAPTCHA           %s\n", FormatPercent(captcha / n).c_str());
   std::printf("  followed hidden links    %s\n", FormatPercent(hidden / n).c_str());
   std::printf("  browser type mismatch    %s\n", FormatPercent(mismatch / n).c_str());
+  if (json_logs) {
+    ROBODET_LOG(kInfo)
+        .With("css_probe", css / n)
+        .With("executed_js", js / n)
+        .With("mouse", mouse / n)
+        .With("captcha", captcha / n)
+        .With("hidden_link", hidden / n)
+        .With("ua_mismatch", mismatch / n)
+        << "signal_breakdown";
+  }
 
   // Classifier outcomes vs. the log's ground-truth labels.
   CombinedClassifier classifier;
@@ -98,6 +124,13 @@ int main(int argc, char** argv) {
               FormatPercent(combined_cm.Accuracy()).c_str(),
               FormatPercent(combined_cm.HumanMisclassificationRate()).c_str(),
               FormatPercent(combined_cm.RobotMissRate()).c_str());
+  if (json_logs) {
+    ROBODET_LOG(kInfo)
+        .With("accuracy", combined_cm.Accuracy())
+        .With("human_misjudged", combined_cm.HumanMisclassificationRate())
+        .With("robot_missed", combined_cm.RobotMissRate())
+        << "combined_classifier";
+  }
 
   if (flags.GetBool("ml")) {
     Dataset corpus;
@@ -119,6 +152,13 @@ int main(int argc, char** argv) {
     std::printf("\nAdaBoost (%ld rounds): test accuracy %s, AUC %.4f\n",
                 flags.GetInt("rounds", 200), FormatPercent(test_cm.Accuracy(), 2).c_str(),
                 roc.auc);
+    if (json_logs) {
+      ROBODET_LOG(kInfo)
+          .With("rounds", flags.GetInt("rounds", 200))
+          .With("test_accuracy", test_cm.Accuracy())
+          .With("auc", roc.auc)
+          << "adaboost";
+    }
     auto importance = model.FeatureImportance();
     std::printf("top attributes:");
     for (int pick = 0; pick < 3; ++pick) {

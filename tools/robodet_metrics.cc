@@ -1,0 +1,96 @@
+// robodet_metrics: runs a mixed-population simulation through the
+// instrumenting proxy and dumps what the observability layer collected —
+// the Prometheus scrape or JSON snapshot of the metrics registry, plus
+// (with --traces) the retained request traces.
+//
+// Usage:
+//   robodet_metrics [--format=prom|json] [--clients=200] [--seed=1]
+//       [--min-requests=10] [--traces] [--trace-capacity=128]
+//       [--sample-every=64] [--policy]
+#include <cstdio>
+
+#include "src/robodet.h"
+#include "tools/flags.h"
+
+using namespace robodet;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (!flags.errors().empty() || flags.GetBool("help")) {
+    std::fprintf(stderr, "%s", flags.errors().c_str());
+    std::fprintf(stderr,
+                 "usage: robodet_metrics [--format=prom|json] [--clients=200] "
+                 "[--seed=1] [--min-requests=10] [--traces] "
+                 "[--trace-capacity=128] [--sample-every=64] [--policy]\n");
+    return flags.GetBool("help") ? 0 : 2;
+  }
+
+  ExperimentConfig config;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  config.num_clients = static_cast<size_t>(flags.GetInt("clients", 200));
+  config.proxy.enable_policy = flags.GetBool("policy");
+  Experiment experiment(config);
+
+  TraceRecorder::Config trace_config;
+  trace_config.capacity = static_cast<size_t>(flags.GetInt("trace-capacity", 128));
+  trace_config.sample_every = static_cast<size_t>(flags.GetInt("sample-every", 64));
+  TraceRecorder tracer(trace_config);
+  const bool want_traces = flags.GetBool("traces");
+  if (want_traces) {
+    experiment.proxy().set_trace_recorder(&tracer);
+  }
+
+  experiment.Run();
+
+  // Closed sessions never went through ClassifySession (the proxy only
+  // judges live ones), so feed the final observations through a classifier
+  // bound to the same registry and record the verdicts the same way.
+  MetricsRegistry& registry = experiment.proxy().metrics();
+  CombinedClassifier classifier;
+  classifier.BindMetrics(&registry);
+  const int min_requests = static_cast<int>(flags.GetInt("min-requests", 10));
+  for (const SessionRecord* record : experiment.RecordsWithMinRequests(min_requests)) {
+    const Classification c = classifier.ClassifyOnline(record->observation);
+    std::string source = "none";
+    for (const Evidence& evidence : c.evidence) {
+      if (evidence.points_to == c.verdict) {
+        source = evidence.signal;
+        break;
+      }
+    }
+    registry
+        .FindOrCreateCounter("robodet_verdict_total",
+                             {{"class", std::string(VerdictName(c.verdict))},
+                              {"source", source}})
+        ->Inc();
+  }
+
+  const RegistrySnapshot snapshot = registry.Scrape();
+  const std::string format = flags.GetString("format", "prom");
+  if (format == "json") {
+    std::printf("%s\n", ExportJson(snapshot).c_str());
+  } else if (format == "prom") {
+    std::printf("%s", ExportPrometheus(snapshot).c_str());
+  } else {
+    std::fprintf(stderr, "error: unknown --format=%s (want prom or json)\n", format.c_str());
+    return 2;
+  }
+
+  if (want_traces) {
+    const std::vector<RequestTrace> traces = tracer.Snapshot();
+    if (format == "json") {
+      std::printf("%s\n", ExportTracesJson(traces).c_str());
+    } else {
+      // Keep the stderr header out of the middle of stdout's block buffer
+      // when both streams share a file (`tool > out 2>&1`).
+      std::fflush(stdout);
+      std::fprintf(stderr, "# traces: started=%llu retained=%zu evicted=%llu\n",
+                   static_cast<unsigned long long>(tracer.started()), traces.size(),
+                   static_cast<unsigned long long>(tracer.evicted()));
+      for (const RequestTrace& trace : traces) {
+        std::printf("%s", FormatTraceText(trace).c_str());
+      }
+    }
+  }
+  return 0;
+}
