@@ -1,0 +1,106 @@
+// Chaos sweep: drives the full pipeline through a seeded fault schedule at
+// increasing fault rates and reports how the serving path and the detector
+// degrade. The headline claim is graceful degradation: pages keep flowing
+// (pass-through instead of 5xx storms), the breaker caps retry amplification,
+// and detection accuracy falls gently rather than collapsing.
+//
+// Usage: chaos [num_clients]   (default 1500)
+#include "bench/bench_util.h"
+
+using namespace robodet;
+
+namespace {
+
+struct SweepRow {
+  double fault_rate = 0.0;
+  uint64_t injected_errors = 0;
+  uint64_t retries = 0;
+  uint64_t degraded = 0;
+  uint64_t requests = 0;
+  uint64_t breaker_opens = 0;
+  double detection_accuracy = 0.0;
+  double block_rate = 0.0;
+  size_t judged = 0;
+};
+
+SweepRow RunSweepPoint(size_t num_clients, double fault_rate) {
+  ExperimentConfig config;
+  config.seed = 20060430;
+  config.num_clients = num_clients;
+  config.arrival_window = 12 * kHour;
+  config.site.num_pages = 150;
+  config.proxy.enable_policy = true;
+  config.proxy.resilience.max_body_bytes = 256 * 1024;
+  config.faults.error_rate = fault_rate;
+  config.faults.slow_rate = fault_rate / 2.0;
+  config.faults.corrupt_rate = fault_rate / 2.0;
+  config.faults.oversize_bytes = 512 * 1024;
+  config.faults.seed = 777;
+
+  Experiment experiment(config);
+  experiment.Run();
+
+  SweepRow row;
+  row.fault_rate = fault_rate;
+  row.injected_errors = experiment.faults().counts().errors;
+
+  const RegistrySnapshot snapshot = experiment.proxy().metrics().Scrape();
+  row.requests = snapshot.CounterValue("robodet_requests_total");
+  row.retries = snapshot.CounterValue("robodet_origin_retries_total");
+  for (const char* level : {"beacon_only", "pass_through", "fail_closed", "shed"}) {
+    row.degraded += snapshot.CounterValue("robodet_degraded_total", {{"level", level}});
+  }
+  row.breaker_opens =
+      snapshot.CounterValue("robodet_breaker_transitions_total", {{"to", "open"}});
+  row.block_rate = row.requests > 0
+                       ? static_cast<double>(snapshot.CounterValue(
+                             "robodet_blocked_requests_total")) /
+                             static_cast<double>(row.requests)
+                       : 0.0;
+
+  // Detection accuracy over sessions long enough to judge (>10 requests,
+  // the paper's threshold), using the online combined classifier.
+  CombinedClassifier classifier;
+  size_t correct = 0;
+  for (const SessionRecord* r : experiment.RecordsWithMinRequests(10)) {
+    const Verdict v = classifier.ClassifyOnline(r->observation).verdict;
+    if (v == Verdict::kUnknown) {
+      continue;
+    }
+    ++row.judged;
+    if ((v == Verdict::kHuman) == r->truly_human) {
+      ++correct;
+    }
+  }
+  row.detection_accuracy =
+      row.judged > 0 ? static_cast<double>(correct) / static_cast<double>(row.judged) : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t num_clients = ClientsFromArgs(argc, argv, 1500);
+  PrintHeader("Chaos sweep — detection and serving vs. origin fault rate");
+
+  std::printf("\n  %-10s %10s %9s %10s %9s %8s %10s %8s\n", "fault rate", "injected",
+              "retries", "degraded", "deg %", "opens", "accuracy", "block %");
+  for (double fault_rate : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+    const SweepRow row = RunSweepPoint(num_clients, fault_rate);
+    std::printf("  %-10.2f %10llu %9llu %10llu %8.1f%% %8llu %9.1f%% %7.2f%%\n",
+                row.fault_rate, static_cast<unsigned long long>(row.injected_errors),
+                static_cast<unsigned long long>(row.retries),
+                static_cast<unsigned long long>(row.degraded),
+                row.requests > 0 ? 100.0 * static_cast<double>(row.degraded) /
+                                       static_cast<double>(row.requests)
+                                 : 0.0,
+                static_cast<unsigned long long>(row.breaker_opens),
+                100.0 * row.detection_accuracy, 100.0 * row.block_rate);
+  }
+
+  std::printf(
+      "\n  degraded = servings below full instrumentation (beacon-only,\n"
+      "  pass-through, fail-closed, shed). Same seed reproduces this table\n"
+      "  exactly, including every robodet_* counter.\n");
+  return 0;
+}

@@ -63,4 +63,19 @@ std::string_view MimeTypeFor(ResourceKind k) {
   return "application/octet-stream";
 }
 
+bool LooksLikeHtml(std::string_view body) {
+  const size_t limit = body.size() < 256 ? body.size() : 256;
+  for (size_t i = 0; i + 1 < limit; ++i) {
+    if (body[i] != '<') {
+      continue;
+    }
+    const char next = body[i + 1];
+    if ((next >= 'a' && next <= 'z') || (next >= 'A' && next <= 'Z') || next == '!' ||
+        next == '/') {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace robodet

@@ -56,6 +56,13 @@ ResourceKind ClassifyUrl(const Url& url);
 // MIME type the origin server attaches for a kind.
 std::string_view MimeTypeFor(ResourceKind k);
 
+// Content sniffer for the resilience layer: does a body that *claims* to be
+// HTML plausibly contain markup? Scans the first 256 bytes for a '<'
+// followed by a tag-ish character (letter, '!' or '/'). Origins that put
+// text/html on binary payloads fail this check, and the proxy then serves
+// the body pass-through instead of feeding garbage to the rewriter.
+bool LooksLikeHtml(std::string_view body);
+
 // True for the kinds a rendering browser fetches automatically as part of
 // displaying a page (the paper's "embedded objects").
 constexpr bool IsEmbeddedObjectKind(ResourceKind k) {

@@ -1,0 +1,40 @@
+#include "src/http/origin_result.h"
+
+namespace robodet {
+
+std::string_view OriginErrorKindName(OriginErrorKind kind) {
+  switch (kind) {
+    case OriginErrorKind::kTimeout:
+      return "timeout";
+    case OriginErrorKind::kConnectFail:
+      return "connect_fail";
+    case OriginErrorKind::kReset:
+      return "reset";
+    case OriginErrorKind::kServerError:
+      return "http_5xx";
+    case OriginErrorKind::kTruncatedBody:
+      return "truncated_body";
+    case OriginErrorKind::kOversizedBody:
+      return "oversized_body";
+    case OriginErrorKind::kBadContentType:
+      return "bad_content_type";
+  }
+  return "unknown";
+}
+
+FallibleOriginHandler WrapInfallibleOrigin(std::function<Response(const Request&)> origin) {
+  return [origin = std::move(origin)](const Request& request) {
+    return OriginResult::Ok(origin(request));
+  };
+}
+
+Response SynthesizeOriginErrorResponse(OriginErrorKind kind) {
+  const StatusCode status = kind == OriginErrorKind::kTimeout ? StatusCode::kGatewayTimeout
+                                                              : StatusCode::kBadGateway;
+  Response r = MakeResponse(status, ResourceKind::kHtml,
+                            "<html><body>Origin unavailable.</body></html>");
+  r.headers.Set("Cache-Control", "no-cache, no-store");
+  return r;
+}
+
+}  // namespace robodet

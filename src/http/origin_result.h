@@ -1,0 +1,76 @@
+// The fallible origin surface. The instrumenting proxy fronts an origin
+// that can time out, refuse connections, reset mid-body, serve 5xx, or
+// return bodies that cannot be trusted (truncated, oversized, or labeled
+// text/html while plainly not HTML). OriginResult makes every one of those
+// outcomes a typed value instead of an accident of control flow, so the
+// resilience layer can decide retry/degrade/reject policy explicitly.
+#ifndef ROBODET_SRC_HTTP_ORIGIN_RESULT_H_
+#define ROBODET_SRC_HTTP_ORIGIN_RESULT_H_
+
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "src/http/request.h"
+#include "src/util/clock.h"
+
+namespace robodet {
+
+enum class OriginErrorKind {
+  kTimeout,         // No response within the deadline.
+  kConnectFail,     // TCP connect refused / DNS failure.
+  kReset,           // Connection reset mid-transfer.
+  kServerError,     // Origin answered with a 5xx (response attached).
+  kTruncatedBody,   // Body shorter than the declared Content-Length.
+  kOversizedBody,   // Body above the configured hard cap.
+  kBadContentType,  // Claims text/html but the body is not markup.
+};
+
+std::string_view OriginErrorKindName(OriginErrorKind kind);
+
+struct OriginError {
+  OriginErrorKind kind = OriginErrorKind::kConnectFail;
+};
+
+// Outcome of one origin fetch attempt. `latency` is the simulated service
+// time of the attempt (SimClock milliseconds); the resilience layer charges
+// it against the per-request deadline. A result can carry both an error and
+// a response: a 5xx is an error with the origin's own error page attached,
+// which fail-open mode can still pass through to the client.
+struct OriginResult {
+  std::optional<Response> response;
+  std::optional<OriginError> error;
+  TimeMs latency = 0;
+
+  bool ok() const { return !error.has_value(); }
+
+  static OriginResult Ok(Response r, TimeMs latency = 0) {
+    OriginResult out;
+    out.response = std::move(r);
+    out.latency = latency;
+    return out;
+  }
+
+  static OriginResult Fail(OriginErrorKind kind, TimeMs latency = 0) {
+    OriginResult out;
+    out.error = OriginError{kind};
+    out.latency = latency;
+    return out;
+  }
+};
+
+// A fallible origin: what ProxyServer actually consumes. Infallible
+// handlers (plain Response-returning functions) are adapted via
+// WrapInfallibleOrigin and never report errors.
+using FallibleOriginHandler = std::function<OriginResult(const Request&)>;
+
+FallibleOriginHandler WrapInfallibleOrigin(std::function<Response(const Request&)> origin);
+
+// Client-facing stand-in for an origin failure the proxy could not recover
+// from: 504 for timeouts, 502 for everything else.
+Response SynthesizeOriginErrorResponse(OriginErrorKind kind);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_HTTP_ORIGIN_RESULT_H_

@@ -28,6 +28,8 @@ std::string_view ReasonPhrase(StatusCode s) {
       return "Bad Gateway";
     case StatusCode::kServiceUnavailable:
       return "Service Unavailable";
+    case StatusCode::kGatewayTimeout:
+      return "Gateway Timeout";
   }
   return "Unknown";
 }

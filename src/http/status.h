@@ -21,6 +21,7 @@ enum class StatusCode : int {
   kInternalServerError = 500,
   kBadGateway = 502,
   kServiceUnavailable = 503,
+  kGatewayTimeout = 504,
 };
 
 constexpr int StatusValue(StatusCode s) { return static_cast<int>(s); }

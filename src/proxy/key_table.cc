@@ -75,12 +75,14 @@ bool KeyTable::MatchAndConsume(IpAddress ip, const std::string& key, TimeMs now)
   return false;
 }
 
-void KeyTable::ExpireOld(TimeMs now) {
+size_t KeyTable::ExpireOld(TimeMs now) {
+  size_t reaped = 0;
   for (auto it = by_ip_.begin(); it != by_ip_.end();) {
     std::deque<Entry>& entries = it->second;
     while (!entries.empty() && now - entries.front().issued_at > config_.entry_ttl) {
       entries.pop_front();
       --total_entries_;
+      ++reaped;
       IncIfBound(metrics_.expired);
     }
     if (entries.empty()) {
@@ -90,6 +92,7 @@ void KeyTable::ExpireOld(TimeMs now) {
     }
   }
   UpdateEntriesGauge();
+  return reaped;
 }
 
 void KeyTable::DropOldestFor(std::deque<Entry>& entries) {

@@ -36,8 +36,9 @@ class KeyTable {
   // unexpired, not yet used).
   bool MatchAndConsume(IpAddress ip, const std::string& key, TimeMs now);
 
-  // Drops all expired entries (called opportunistically).
-  void ExpireOld(TimeMs now);
+  // Drops all expired entries (called opportunistically). Returns how many
+  // were reaped, so callers can account the sweep.
+  size_t ExpireOld(TimeMs now);
 
   // Mirrors the table's counters into `registry` under
   // robodet_key_table_*; call once at wiring time.

@@ -36,27 +36,52 @@ Response Blocked() {
                       "<html><body>Access denied.</body></html>");
 }
 
+Response FailClosed() {
+  Response r = MakeResponse(StatusCode::kServiceUnavailable, ResourceKind::kHtml,
+                            "<html><body>Upstream unavailable.</body></html>");
+  r.headers.Set("Cache-Control", "no-cache, no-store");
+  return r;
+}
+
+Response Overloaded() {
+  Response r = MakeResponse(StatusCode::kServiceUnavailable, ResourceKind::kHtml,
+                            "<html><body>Service overloaded; try again later.</body></html>");
+  r.headers.Set("Retry-After", "1");
+  r.headers.Set("Cache-Control", "no-cache, no-store");
+  return r;
+}
+
+// Decorrelates the resilience layer's jitter stream from the proxy's token
+// stream while keeping both a pure function of the configured seed.
+constexpr uint64_t kResilienceSeedSalt = 0x726573696c696e74ULL;
+
 // Microsecond buckets 1us..8.2ms; rewrite and full-handle latencies land
 // mid-range, probe hits in the first buckets.
 std::vector<double> LatencyBucketsUs() { return ExponentialBuckets(1.0, 2.0, 14); }
 
 }  // namespace
 
-ProxyServer::ProxyServer(ProxyConfig config, SimClock* clock, OriginHandler origin,
+ProxyServer::ProxyServer(ProxyConfig config, SimClock* clock, FallibleOriginHandler origin,
                          uint64_t rng_seed)
     : config_(std::move(config)),
       clock_(clock),
-      origin_(std::move(origin)),
       rng_(rng_seed),
       minter_(config_.secret, &rng_),
       sessions_(config_.session),
       key_table_(config_.keys),
       policy_(config_.policy),
       captcha_(&minter_),
+      resilient_(config_.resilience, std::move(origin), rng_seed ^ kResilienceSeedSalt),
+      admission_(config_.resilience.admission_rps),
       owned_registry_(std::make_unique<MetricsRegistry>()),
       registry_(owned_registry_.get()) {
   BindMetrics();
 }
+
+ProxyServer::ProxyServer(ProxyConfig config, SimClock* clock, OriginHandler origin,
+                         uint64_t rng_seed)
+    : ProxyServer(std::move(config), clock, WrapInfallibleOrigin(std::move(origin)),
+                  rng_seed) {}
 
 void ProxyServer::BindMetrics() {
   m_ = Handles{};
@@ -65,6 +90,7 @@ void ProxyServer::BindMetrics() {
     key_table_.BindMetrics(nullptr);
     policy_.BindMetrics(nullptr);
     default_classifier_.BindMetrics(nullptr);
+    resilient_.BindMetrics(nullptr);
     return;
   }
   m_.requests = registry_->FindOrCreateCounter("robodet_requests_total");
@@ -89,6 +115,18 @@ void ProxyServer::BindMetrics() {
       registry_->FindOrCreateCounter("robodet_captcha_total", {{"result", "fail"}});
   m_.origin_bytes = registry_->FindOrCreateCounter("robodet_origin_bytes_total");
   m_.instr_bytes = registry_->FindOrCreateCounter("robodet_instrumentation_bytes_total");
+  for (int level = 0; level < 5; ++level) {
+    m_.degraded[level] = registry_->FindOrCreateCounter(
+        "robodet_degraded_total",
+        {{"level", std::string(DegradationLevelName(static_cast<DegradationLevel>(level)))}});
+  }
+  m_.shed_robots = registry_->FindOrCreateCounter("robodet_shed_total", {{"scope", "robots"}});
+  m_.shed_all = registry_->FindOrCreateCounter("robodet_shed_total", {{"scope", "all"}});
+  m_.maintenance_runs = registry_->FindOrCreateCounter("robodet_maintenance_runs_total");
+  m_.maintenance_keys =
+      registry_->FindOrCreateCounter("robodet_maintenance_keys_expired_total");
+  m_.maintenance_sessions =
+      registry_->FindOrCreateCounter("robodet_maintenance_sessions_closed_total");
   m_.handle_us =
       registry_->FindOrCreateHistogram("robodet_handle_duration_us", LatencyBucketsUs());
   m_.rewrite_us =
@@ -97,6 +135,7 @@ void ProxyServer::BindMetrics() {
   key_table_.BindMetrics(registry_);
   policy_.BindMetrics(registry_);
   default_classifier_.BindMetrics(registry_);
+  resilient_.BindMetrics(registry_);
 }
 
 void ProxyServer::UseSharedMetrics(MetricsRegistry* registry) {
@@ -231,6 +270,9 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
 
   IncIfBound(m_.requests);
   const TimeMs now = request.time;
+  // Reap before Touch so the returned session pointer cannot be invalidated
+  // by the idle sweep.
+  MaybeMaintainTables(now);
   SessionState* session = sessions_.Touch(SessionKey{request.client_ip,
                                                      std::string(request.UserAgent())},
                                           now);
@@ -241,6 +283,35 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
   TraceRecorder::Trace* trace = trace_scope.get();
   if (trace != nullptr) {
     trace->set_session_id(session->id());
+  }
+
+  // Overload shedding: past the admission budget, robot-classified
+  // sessions go first; past twice the budget, everything goes.
+  if (admission_.budget() > 0) {
+    const AdmissionController::Decision admit = admission_.Admit(now);
+    bool shed = admit == AdmissionController::Decision::kShedAll;
+    Verdict verdict = Verdict::kUnknown;
+    if (admit == AdmissionController::Decision::kShedRobots) {
+      SpanScope span(trace, "classify");
+      verdict = JudgeSession(*session);
+      shed = verdict == Verdict::kRobot;
+    }
+    if (shed) {
+      IncIfBound(admit == AdmissionController::Decision::kShedAll ? m_.shed_all
+                                                                  : m_.shed_robots);
+      IncIfBound(m_.degraded[static_cast<int>(DegradationLevel::kShed)]);
+      RequestEvent shed_ev = BuildEvent(request, *session);
+      shed_ev.status_class = 5;
+      session->RecordRequest(now, shed_ev);
+      if (trace != nullptr) {
+        trace->SetOutcome(true, VerdictName(verdict), "admission");
+      }
+      Result result;
+      result.response = Overloaded();
+      result.degraded = DegradationLevel::kShed;
+      result.session_id = session->id();
+      return result;
+    }
   }
 
   // Policy gate first: a blocked session stays blocked.
@@ -302,25 +373,43 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
     return result;
   }
 
-  // Forward to origin.
-  Response response;
+  // Forward to origin through the resilience pipeline.
+  FetchOutcome fetch;
   {
     SpanScope span(trace, "origin_fetch");
-    response = origin_(request);
+    fetch = resilient_.Fetch(request);
+    span.Annotate("attempts=" + std::to_string(fetch.attempts) +
+                  " breaker=" + std::string(BreakerStateName(fetch.breaker)));
   }
-  IncIfBound(m_.origin_bytes, response.WireSize());
+  Response response;
+  if (fetch.response.has_value()) {
+    IncIfBound(m_.origin_bytes, fetch.response->WireSize());
+    response = std::move(*fetch.response);
+  } else if (fetch.rejected) {
+    response = FailClosed();
+  } else {
+    response = SynthesizeOriginErrorResponse(
+        fetch.error.value_or(OriginErrorKind::kConnectFail));
+  }
 
-  // Instrument HTML success responses.
-  if (response.IsHtml() && response.status == StatusCode::kOk &&
-      request.method == Method::kGet &&
-      (config_.enable_human_activity || config_.enable_css_probe ||
-       config_.enable_hidden_link)) {
-    response = InstrumentPage(request, *session, std::move(response), trace);
-  } else if (response.IsHtml()) {
+  const DegradationLevel level = DecideDegradation(fetch, response);
+  IncIfBound(m_.degraded[static_cast<int>(level)]);
+
+  // Instrument HTML success responses, as far down the ladder as the fetch
+  // outcome allows.
+  const bool beacon_only = level == DegradationLevel::kBeaconOnly;
+  const bool instrumentable =
+      level == DegradationLevel::kFull
+          ? (config_.enable_human_activity || config_.enable_css_probe ||
+             config_.enable_hidden_link)
+          : beacon_only && config_.enable_human_activity;
+  if (instrumentable && response.IsHtml() && response.status == StatusCode::kOk &&
+      request.method == Method::kGet) {
+    response = InstrumentPage(request, *session, std::move(response), trace, beacon_only);
+  } else if (level != DegradationLevel::kFailClosed && response.IsHtml() &&
+             !response.body.empty()) {
     // Track links/embeds of uninstrumented HTML too (HEAD bodies excluded).
-    if (!response.body.empty()) {
-      RegisterServedContent(request, *session, response.body);
-    }
+    RegisterServedContent(request, *session, response.body);
   }
 
   ev.status_class = static_cast<uint8_t>(StatusValue(response.status) / 100);
@@ -333,7 +422,42 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
   Result result;
   result.response = std::move(response);
   result.session_id = session->id();
+  result.degraded = level;
   return result;
+}
+
+DegradationLevel ProxyServer::DecideDegradation(const FetchOutcome& fetch,
+                                                const Response& response) const {
+  if (fetch.rejected) {
+    return DegradationLevel::kFailClosed;
+  }
+  if (fetch.error.has_value()) {
+    // Hard failure (synthesized error page) or untrustworthy body: serve
+    // whatever we have unmodified.
+    return DegradationLevel::kPassThrough;
+  }
+  if (fetch.breaker != CircuitBreaker::State::kClosed && !fetch.probe) {
+    // Degraded single attempt while the origin is sick: don't spend rewrite
+    // work or mint keys against a host we're not trusting yet.
+    return DegradationLevel::kPassThrough;
+  }
+  if (fetch.latency > resilient_.config().slow_origin ||
+      response.body.size() > resilient_.config().max_rewrite_bytes) {
+    return DegradationLevel::kBeaconOnly;
+  }
+  return DegradationLevel::kFull;
+}
+
+void ProxyServer::MaybeMaintainTables(TimeMs now) {
+  ++handled_;
+  if (config_.maintenance_stride == 0 || handled_ % config_.maintenance_stride != 0) {
+    return;
+  }
+  const size_t expired = keys().ExpireOld(now);
+  const size_t closed = sessions_.CloseIdle(now);
+  IncIfBound(m_.maintenance_runs);
+  IncIfBound(m_.maintenance_keys, expired);
+  IncIfBound(m_.maintenance_sessions, closed);
 }
 
 ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
@@ -502,7 +626,8 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
 }
 
 Response ProxyServer::InstrumentPage(const Request& request, SessionState& session,
-                                     Response response, TraceRecorder::Trace* trace) {
+                                     Response response, TraceRecorder::Trace* trace,
+                                     bool beacon_only) {
   SpanScope span(trace, "rewrite_inject");
   InjectionPlan plan;
 
@@ -517,20 +642,24 @@ Response ProxyServer::InstrumentPage(const Request& request, SessionState& sessi
     plan.mouse_handler_code = beacon.handler_code;
     plan.hook_links = config_.hook_links;
   }
-  if (config_.enable_ua_echo) {
-    const std::string ua_token = minter_.Mint();
-    plan.ua_echo_script =
-        GenerateUaEchoScript(config_.host, config_.instr_prefix, ua_token);
-  }
-  if (config_.enable_css_probe) {
-    plan.css_probe_url = AbsoluteInstrUrl("cp_" + minter_.Mint() + ".css");
-  }
-  if (config_.enable_audio_probe) {
-    plan.audio_probe_url = AbsoluteInstrUrl("ap_" + minter_.Mint() + ".wav");
-  }
-  if (config_.enable_hidden_link) {
-    plan.hidden_link_url = AbsoluteInstrUrl("hl_" + minter_.Mint() + ".html");
-    plan.transparent_image_url = AbsoluteInstrUrl("ti.jpg");
+  // Beacon-only is the ladder's middle rung: the cheap, high-signal probe
+  // stays, the secondary rewrites are shed.
+  if (!beacon_only) {
+    if (config_.enable_ua_echo) {
+      const std::string ua_token = minter_.Mint();
+      plan.ua_echo_script =
+          GenerateUaEchoScript(config_.host, config_.instr_prefix, ua_token);
+    }
+    if (config_.enable_css_probe) {
+      plan.css_probe_url = AbsoluteInstrUrl("cp_" + minter_.Mint() + ".css");
+    }
+    if (config_.enable_audio_probe) {
+      plan.audio_probe_url = AbsoluteInstrUrl("ap_" + minter_.Mint() + ".wav");
+    }
+    if (config_.enable_hidden_link) {
+      plan.hidden_link_url = AbsoluteInstrUrl("hl_" + minter_.Mint() + ".html");
+      plan.transparent_image_url = AbsoluteInstrUrl("ti.jpg");
+    }
   }
 
   const uint64_t rewrite_start = m_.rewrite_us != nullptr ? MonotonicNanos() : 0;

@@ -14,6 +14,7 @@
 #include "src/core/attestation.h"
 #include "src/core/combined_classifier.h"
 #include "src/core/verdict.h"
+#include "src/http/origin_result.h"
 #include "src/http/request.h"
 #include "src/js/generator.h"
 #include "src/obs/metrics.h"
@@ -21,6 +22,7 @@
 #include "src/proxy/captcha.h"
 #include "src/proxy/key_table.h"
 #include "src/proxy/policy.h"
+#include "src/proxy/resilience.h"
 #include "src/proxy/session_table.h"
 #include "src/proxy/token_minter.h"
 #include "src/util/clock.h"
@@ -65,6 +67,14 @@ struct ProxyConfig {
 
   SessionTable::Config session;
   KeyTable::Config keys;
+
+  // Fault tolerance for the origin path (deadline, retries, breaker,
+  // degradation ladder, admission control). See src/proxy/resilience.h.
+  ResilienceConfig resilience;
+
+  // Every N handled requests, expired beacon keys and idle sessions are
+  // reaped opportunistically on the request path (0 disables).
+  size_t maintenance_stride = 1024;
 
   // Observability. With metrics off, no registry is populated and the
   // ProxyStats compatibility view reads all-zero (only the overhead
@@ -111,8 +121,16 @@ class ProxyServer {
     Response response;
     bool blocked = false;
     uint64_t session_id = 0;
+    // How much instrumentation this serving decision actually kept.
+    DegradationLevel degraded = DegradationLevel::kFull;
   };
 
+  // Primary constructor: a fallible origin routed through the resilience
+  // layer (per-request deadline, bounded retries, per-origin breaker).
+  ProxyServer(ProxyConfig config, SimClock* clock, FallibleOriginHandler origin,
+              uint64_t rng_seed = 42);
+  // Compatibility constructor for infallible origins; adapted via
+  // WrapInfallibleOrigin (never reports errors, zero simulated latency).
   ProxyServer(ProxyConfig config, SimClock* clock, OriginHandler origin,
               uint64_t rng_seed = 42);
 
@@ -133,6 +151,12 @@ class ProxyServer {
 
   SessionTable& sessions() { return sessions_; }
   KeyTable& keys() { return shared_keys_ != nullptr ? *shared_keys_ : key_table_; }
+
+  // The resilience pipeline guarding the origin. Exposed so operators (and
+  // tests) can force breakers open, flip fail-open, or inspect state.
+  ResilientOrigin& resilience() { return resilient_; }
+  void set_fail_open(bool fail_open) { resilient_.set_fail_open(fail_open); }
+  void set_admission_budget(uint32_t rps) { admission_.set_budget(rps); }
 
   // Multi-node deployments can share one beacon key table so that a key
   // issued by any node validates on any other (see sim/cluster.h and the
@@ -171,7 +195,11 @@ class ProxyServer {
   Result HandleInstrumented(const Request& request, SessionState& session, int request_index,
                             TraceRecorder::Trace* trace);
   Response InstrumentPage(const Request& request, SessionState& session, Response response,
-                          TraceRecorder::Trace* trace);
+                          TraceRecorder::Trace* trace, bool beacon_only);
+  // Picks the rung of the degradation ladder for an origin fetch outcome.
+  DegradationLevel DecideDegradation(const FetchOutcome& fetch, const Response& response) const;
+  // Every maintenance_stride requests: reap expired keys and idle sessions.
+  void MaybeMaintainTables(TimeMs now);
   void RegisterServedContent(const Request& request, SessionState& session,
                              const std::string& html);
   RequestEvent BuildEvent(const Request& request, const SessionState& session) const;
@@ -196,13 +224,18 @@ class ProxyServer {
     Counter* captcha_fail = nullptr;
     Counter* origin_bytes = nullptr;
     Counter* instr_bytes = nullptr;
+    Counter* degraded[5] = {};  // Indexed by DegradationLevel.
+    Counter* shed_robots = nullptr;
+    Counter* shed_all = nullptr;
+    Counter* maintenance_runs = nullptr;
+    Counter* maintenance_keys = nullptr;
+    Counter* maintenance_sessions = nullptr;
     HistogramMetric* handle_us = nullptr;
     HistogramMetric* rewrite_us = nullptr;
   };
 
   ProxyConfig config_;
   SimClock* clock_;  // Not owned.
-  OriginHandler origin_;
   Rng rng_;
   TokenMinter minter_;
   SessionTable sessions_;
@@ -210,6 +243,9 @@ class ProxyServer {
   KeyTable* shared_keys_ = nullptr;  // Not owned; overrides key_table_.
   PolicyEngine policy_;
   CaptchaService captcha_;
+  ResilientOrigin resilient_;
+  AdmissionController admission_;
+  uint64_t handled_ = 0;  // Drives the maintenance stride.
   RobotJudge robot_judge_;
   CombinedClassifier default_classifier_;
   const AttestationAuthority* attestation_ = nullptr;  // Not owned.

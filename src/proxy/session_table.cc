@@ -61,7 +61,7 @@ void SessionTable::Close(
   }
 }
 
-void SessionTable::CloseIdle(TimeMs now) {
+size_t SessionTable::CloseIdle(TimeMs now) {
   std::vector<SessionKey> stale;
   for (const auto& [key, session] : sessions_) {
     if (now - session->last_request_time() > config_.idle_timeout) {
@@ -71,6 +71,7 @@ void SessionTable::CloseIdle(TimeMs now) {
   for (const SessionKey& key : stale) {
     Close(sessions_.find(key), metrics_.closed_idle);
   }
+  return stale.size();
 }
 
 void SessionTable::CloseAll() {

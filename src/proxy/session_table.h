@@ -37,7 +37,8 @@ class SessionTable {
   SessionState* Touch(const SessionKey& key, TimeMs now);
 
   // Closes every session idle at `now` (call periodically or at shutdown).
-  void CloseIdle(TimeMs now);
+  // Returns how many sessions were closed.
+  size_t CloseIdle(TimeMs now);
 
   // Closes everything unconditionally.
   void CloseAll();

@@ -30,6 +30,7 @@
 #include "src/http/content_type.h"
 #include "src/http/headers.h"
 #include "src/http/method.h"
+#include "src/http/origin_result.h"
 #include "src/http/request.h"
 #include "src/http/status.h"
 #include "src/http/url.h"
@@ -51,12 +52,14 @@
 #include "src/proxy/key_table.h"
 #include "src/proxy/policy.h"
 #include "src/proxy/proxy_server.h"
+#include "src/proxy/resilience.h"
 #include "src/proxy/session.h"
 #include "src/proxy/session_table.h"
 #include "src/proxy/token_minter.h"
 #include "src/sim/clf_import.h"
 #include "src/sim/cluster.h"
 #include "src/sim/experiment.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/human_browser.h"
 #include "src/sim/population.h"
 #include "src/sim/record_io.h"

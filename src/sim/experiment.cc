@@ -13,9 +13,12 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
   site_ = SiteModel::Generate(config_.site, site_rng);
   origin_ = std::make_unique<OriginServer>(&site_);
   config_.proxy.host = site_.host();
+  faults_ = std::make_unique<FaultInjector>(
+      config_.faults, [this](const Request& r) { return origin_->HandleOrigin(r); });
   proxy_ = std::make_unique<ProxyServer>(
       config_.proxy, &clock_,
-      [this](const Request& r) { return origin_->Handle(r); }, config_.seed ^ 0x9042ULL);
+      FallibleOriginHandler([this](const Request& r) { return (*faults_)(r); }),
+      config_.seed ^ 0x9042ULL);
 }
 
 void Experiment::Run() {

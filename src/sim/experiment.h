@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/proxy/proxy_server.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/population.h"
 #include "src/site/origin_server.h"
 #include "src/site/site_model.h"
@@ -42,6 +43,9 @@ struct ExperimentConfig {
   SiteConfig site;
   ProxyConfig proxy;
   PopulationMix mix;
+  // Chaos schedule applied between the proxy and the origin. Disabled by
+  // default (an all-zero plan injects nothing).
+  FaultPlan faults;
 };
 
 class Experiment {
@@ -59,6 +63,7 @@ class Experiment {
   ProxyServer& proxy() { return *proxy_; }
   const SiteModel& site() const { return site_; }
   SimClock& clock() { return clock_; }
+  const FaultInjector& faults() const { return *faults_; }
 
   struct TypeStats {
     uint64_t clients = 0;
@@ -72,6 +77,7 @@ class Experiment {
   SimClock clock_;
   SiteModel site_;
   std::unique_ptr<OriginServer> origin_;
+  std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<ProxyServer> proxy_;
   std::vector<SessionRecord> records_;
   std::map<std::string, TypeStats> type_stats_;

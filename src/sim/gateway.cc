@@ -15,11 +15,21 @@ void Gateway::BindMetrics(MetricsRegistry* registry) {
       registry->FindOrCreateCounter("robodet_gateway_fetches_total", {{"outcome", "redirect"}});
   metrics_.error =
       registry->FindOrCreateCounter("robodet_gateway_fetches_total", {{"outcome", "error"}});
+  metrics_.degraded = registry->FindOrCreateCounter("robodet_gateway_degraded_total");
 }
 
 void Gateway::RecordOutcome(const ProxyServer::Result& result, FetchStats* stats) {
   if (stats != nullptr) {
     ++stats->requests;
+  }
+  if (result.degraded != DegradationLevel::kFull) {
+    if (stats != nullptr) {
+      ++stats->degraded;
+      if (result.degraded == DegradationLevel::kShed) {
+        ++stats->shed;
+      }
+    }
+    IncIfBound(metrics_.degraded);
   }
   if (result.blocked) {
     if (stats != nullptr) ++stats->blocked;

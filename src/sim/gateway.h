@@ -30,6 +30,10 @@ struct FetchStats {
   uint64_t ok = 0;
   uint64_t redirects = 0;
   uint64_t errors = 0;
+  // Requests served below full instrumentation (any ladder rung != full),
+  // and the subset rejected outright by overload shedding.
+  uint64_t degraded = 0;
+  uint64_t shed = 0;
 };
 
 class Gateway {
@@ -73,6 +77,7 @@ class Gateway {
     Counter* blocked = nullptr;
     Counter* redirect = nullptr;
     Counter* error = nullptr;
+    Counter* degraded = nullptr;
   };
 
   void RecordOutcome(const ProxyServer::Result& result, FetchStats* stats);

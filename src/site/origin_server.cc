@@ -86,6 +86,24 @@ Response OriginServer::Handle(const Request& request) {
                       "<html><body>Not found: " + path + "</body></html>");
 }
 
+OriginResult OriginServer::HandleOrigin(const Request& request) {
+  // Service times well under ResilienceConfig defaults, so a healthy origin
+  // never trips the slow-origin rung on its own.
+  TimeMs latency = 2;
+  switch (request.Kind()) {
+    case ResourceKind::kCgi:
+      latency = 12;
+      break;
+    case ResourceKind::kHtml:
+      latency = 6;
+      break;
+    default:
+      latency = 2;
+      break;
+  }
+  return OriginResult::Ok(Handle(request), latency);
+}
+
 Response OriginServer::HandleBoard(const Request& request) {
   if (request.url.path() == SiteModel::BoardPostPath()) {
     if (request.method != Method::kPost || request.body.empty()) {

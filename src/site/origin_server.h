@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "src/http/origin_result.h"
 #include "src/http/request.h"
 #include "src/site/site_model.h"
 #include "src/util/rng.h"
@@ -23,6 +24,12 @@ class OriginServer {
   // redirect, which is what makes RESPCODE_3XX% informative); static assets
   // return deterministic filler bytes; unknown paths 404.
   Response Handle(const Request& request);
+
+  // Fallible form for the resilience layer: same resolution as Handle but
+  // with a deterministic simulated service time (CGI renders cost more than
+  // static assets). A healthy origin never reports errors; fault injection
+  // is layered on top (see sim/fault_injector.h).
+  OriginResult HandleOrigin(const Request& request);
 
   // Counters for sanity checks and reports.
   uint64_t requests_served() const { return requests_served_; }

@@ -133,6 +133,105 @@ TEST_F(FailureInjectionTest, OriginErrorsPassThroughUninstrumented) {
       proxy_->Handle(MakeRequest("www.example.com", "/p/1.html", IpAddress(5), 0));
   EXPECT_EQ(result.response.status, StatusCode::kInternalServerError);
   EXPECT_EQ(result.response.body.find("/__rd/"), std::string::npos);
+  EXPECT_EQ(result.degraded, DegradationLevel::kPassThrough);
+}
+
+TEST_F(FailureInjectionTest, OriginTimeoutMidSession) {
+  ProxyConfig config;
+  config.host = "www.example.com";
+  SimClock clock;
+  bool fail = false;
+  ProxyServer proxy(config, &clock,
+                    FallibleOriginHandler([&fail](const Request&) {
+                      if (fail) {
+                        return OriginResult::Fail(OriginErrorKind::kTimeout, 5 * kSecond);
+                      }
+                      return OriginResult::Ok(
+                          MakeHtmlResponse("<html><body>ok</body></html>"), 5);
+                    }),
+                    911);
+
+  const auto first =
+      proxy.Handle(MakeRequest("www.example.com", "/p/1.html", IpAddress(6), 0));
+  EXPECT_EQ(first.response.status, StatusCode::kOk);
+  EXPECT_EQ(first.degraded, DegradationLevel::kFull);
+
+  // Origin goes dark mid-session: the client gets a synthesized 504, the
+  // session survives, and the degradation decision is on the books.
+  fail = true;
+  const auto second =
+      proxy.Handle(MakeRequest("www.example.com", "/p/2.html", IpAddress(6), 1000));
+  EXPECT_EQ(second.response.status, StatusCode::kGatewayTimeout);
+  EXPECT_EQ(second.degraded, DegradationLevel::kPassThrough);
+  EXPECT_EQ(second.response.body.find("/__rd/"), std::string::npos);
+  const RegistrySnapshot snapshot = proxy.metrics().Scrape();
+  EXPECT_GE(snapshot.CounterValue("robodet_degraded_total", {{"level", "pass_through"}}), 1u);
+  EXPECT_GE(snapshot.CounterValue("robodet_origin_fetch_total", {{"outcome", "timeout"}}), 1u);
+  SessionState* session = proxy.sessions().Touch(SessionKey{IpAddress(6), kUa}, 1000);
+  EXPECT_EQ(session->request_count(), 2);
+}
+
+TEST_F(FailureInjectionTest, ClockBackwardsAcrossBeaconPair) {
+  // A page instrumented at t=10000 issues a beacon key...
+  const auto page =
+      proxy_->Handle(MakeRequest("www.example.com", "/p/1.html", IpAddress(7), 10000));
+  EXPECT_EQ(page.response.status, StatusCode::kOk);
+  EXPECT_EQ(page.degraded, DegradationLevel::kFull);
+  proxy_->keys().Record(IpAddress(7), "/p/1.html", "skewkey", 10000);
+  // ...and the matching beacon hit arrives stamped *earlier* (clock skew
+  // across proxy nodes). The key must still count as live, not expired.
+  const auto beacon = proxy_->Handle(
+      MakeRequest("www.example.com", "/__rd/bk_skewkey.jpg", IpAddress(7), 4000));
+  EXPECT_EQ(beacon.response.status, StatusCode::kOk);
+  EXPECT_GE(proxy_->stats().beacon_hits_ok, 1u);
+  const RegistrySnapshot snapshot = proxy_->metrics().Scrape();
+  EXPECT_GE(snapshot.CounterValue("robodet_degraded_total", {{"level", "full"}}), 1u);
+}
+
+TEST_F(FailureInjectionTest, OversizedOriginBodyHitsCap) {
+  ProxyConfig config;
+  config.host = "www.example.com";
+  config.resilience.max_body_bytes = 64 * 1024;
+  SimClock clock;
+  ProxyServer proxy(config, &clock,
+                    FallibleOriginHandler([](const Request&) {
+                      std::string body = "<html><body>";
+                      body.append(100 * 1024, 'x');
+                      body += "</body></html>";
+                      return OriginResult::Ok(MakeHtmlResponse(std::move(body)), 5);
+                    }),
+                    911);
+  const auto result =
+      proxy.Handle(MakeRequest("www.example.com", "/p/1.html", IpAddress(8), 0));
+  // Delivered but untrustworthy: served pass-through, never rewritten.
+  EXPECT_EQ(result.response.status, StatusCode::kOk);
+  EXPECT_EQ(result.degraded, DegradationLevel::kPassThrough);
+  EXPECT_EQ(result.response.body.find("/__rd/"), std::string::npos);
+  const RegistrySnapshot snapshot = proxy.metrics().Scrape();
+  EXPECT_EQ(
+      snapshot.CounterValue("robodet_origin_fetch_total", {{"outcome", "oversized_body"}}),
+      1u);
+}
+
+TEST_F(FailureInjectionTest, LyingContentTypeServedPassThrough) {
+  ProxyConfig config;
+  config.host = "www.example.com";
+  SimClock clock;
+  ProxyServer proxy(config, &clock,
+                    FallibleOriginHandler([](const Request&) {
+                      // Claims text/html, delivers flat binary.
+                      return OriginResult::Ok(MakeHtmlResponse(std::string(512, '\x01')), 5);
+                    }),
+                    911);
+  const auto result =
+      proxy.Handle(MakeRequest("www.example.com", "/p/1.html", IpAddress(9), 0));
+  EXPECT_EQ(result.response.status, StatusCode::kOk);
+  EXPECT_EQ(result.degraded, DegradationLevel::kPassThrough);
+  EXPECT_EQ(result.response.body.find("/__rd/"), std::string::npos);
+  const RegistrySnapshot snapshot = proxy.metrics().Scrape();
+  EXPECT_EQ(
+      snapshot.CounterValue("robodet_origin_fetch_total", {{"outcome", "bad_content_type"}}),
+      1u);
 }
 
 }  // namespace

@@ -1,0 +1,41 @@
+// Shared resilience/chaos flag wiring for tools that drive a live
+// simulation, so the same knobs (fault schedule, breaker tuning, fail-open
+// policy) behave identically in robodet_metrics, robodet_analyze --chaos,
+// and robodet_capture.
+#ifndef ROBODET_TOOLS_CHAOS_FLAGS_H_
+#define ROBODET_TOOLS_CHAOS_FLAGS_H_
+
+#include <cstdint>
+
+#include "src/robodet.h"
+#include "tools/flags.h"
+
+namespace robodet {
+
+inline constexpr char kChaosUsage[] =
+    "       [--fault-rate=0] [--slow-rate=rate/2] [--corrupt-rate=rate/2]\n"
+    "       [--fault-seed=1337] [--breaker-threshold=5]\n"
+    "       [--breaker-cooldown-ms=30000] [--fail-closed] [--admission-rps=0]\n";
+
+// Applies the chaos/resilience command-line knobs onto an experiment config.
+// Unset flags keep the config's defaults.
+inline void ApplyChaosFlags(const Flags& flags, ExperimentConfig* config) {
+  const double fault_rate = flags.GetDouble("fault-rate", 0.0);
+  config->faults.error_rate = fault_rate;
+  config->faults.slow_rate = flags.GetDouble("slow-rate", fault_rate / 2.0);
+  config->faults.corrupt_rate = flags.GetDouble("corrupt-rate", fault_rate / 2.0);
+  config->faults.seed = static_cast<uint64_t>(flags.GetInt("fault-seed", 1337));
+
+  ResilienceConfig& resilience = config->proxy.resilience;
+  resilience.breaker.failure_threshold = static_cast<int>(
+      flags.GetInt("breaker-threshold", resilience.breaker.failure_threshold));
+  resilience.breaker.open_duration = static_cast<TimeMs>(flags.GetInt(
+      "breaker-cooldown-ms", static_cast<long>(resilience.breaker.open_duration)));
+  resilience.fail_open = !flags.GetBool("fail-closed");
+  resilience.admission_rps = static_cast<uint32_t>(
+      flags.GetInt("admission-rps", resilience.admission_rps));
+}
+
+}  // namespace robodet
+
+#endif  // ROBODET_TOOLS_CHAOS_FLAGS_H_

@@ -8,12 +8,19 @@
 //   robodet_analyze --sessions=sessions.csv --events=events.csv
 //       [--min-requests=10] [--ml] [--rounds=200] [--json-logs]
 //   robodet_analyze --clf=access.log           # replay a real access log
+//   robodet_analyze --chaos --fault-rate=0.2   # analyze a live faulted run
+//
+// --chaos skips the CSV input and instead drives a fresh simulation through
+// the resilient serving path (same knobs as robodet_metrics: --fault-rate,
+// --breaker-threshold, --fail-closed, ...), then analyzes the sessions it
+// produced and reports how many servings the degradation ladder stepped down.
 //
 // --json-logs mirrors the analysis milestones to stderr as JSON Lines
 // (machine-readable; the human report on stdout is unchanged).
 #include <cstdio>
 
 #include "src/robodet.h"
+#include "tools/chaos_flags.h"
 #include "tools/flags.h"
 
 using namespace robodet;
@@ -24,7 +31,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s", flags.errors().c_str());
     std::fprintf(stderr,
                  "usage: robodet_analyze --sessions=F --events=F "
-                 "[--min-requests=10] [--ml] [--rounds=200] [--json-logs]\n");
+                 "[--min-requests=10] [--ml] [--rounds=200] [--json-logs]\n"
+                 "       robodet_analyze --chaos [--clients=500] [--seed=1] [--policy]\n%s",
+                 kChaosUsage);
     return flags.GetBool("help") ? 0 : 2;
   }
 
@@ -47,6 +56,37 @@ int main(int argc, char** argv) {
     std::printf("replayed %zu log lines (%zu malformed)\n", replay->lines_total,
                 replay->lines_malformed);
     log = replay->records;
+  } else if (flags.GetBool("chaos")) {
+    ExperimentConfig config;
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+    config.num_clients = static_cast<size_t>(flags.GetInt("clients", 500));
+    config.proxy.enable_policy = flags.GetBool("policy");
+    ApplyChaosFlags(flags, &config);
+    Experiment experiment(config);
+    experiment.Run();
+    const RegistrySnapshot snapshot = experiment.proxy().metrics().Scrape();
+    uint64_t stepped_down = 0;
+    for (const char* level : {"beacon_only", "pass_through", "fail_closed", "shed"}) {
+      stepped_down += snapshot.CounterValue("robodet_degraded_total", {{"level", level}});
+    }
+    std::printf("chaos run: %llu requests, %llu injected origin faults, "
+                "%llu servings below full instrumentation, %llu breaker trips\n",
+                static_cast<unsigned long long>(
+                    snapshot.CounterValue("robodet_requests_total")),
+                static_cast<unsigned long long>(experiment.faults().counts().errors),
+                static_cast<unsigned long long>(stepped_down),
+                static_cast<unsigned long long>(snapshot.CounterValue(
+                    "robodet_breaker_transitions_total", {{"to", "open"}})));
+    if (json_logs) {
+      ROBODET_LOG(kInfo)
+          .With("requests", snapshot.CounterValue("robodet_requests_total"))
+          .With("injected_faults", experiment.faults().counts().errors)
+          .With("degraded_servings", stepped_down)
+          .With("breaker_opens", snapshot.CounterValue("robodet_breaker_transitions_total",
+                                                       {{"to", "open"}}))
+          << "chaos_run";
+    }
+    log = experiment.records();
   } else {
     const std::string sessions_path = flags.GetString("sessions", "sessions.csv");
     const std::string events_path = flags.GetString("events", "events.csv");

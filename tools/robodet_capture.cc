@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "src/robodet.h"
+#include "tools/chaos_flags.h"
 #include "tools/flags.h"
 
 using namespace robodet;
@@ -18,7 +19,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s", flags.errors().c_str());
     std::fprintf(stderr,
                  "usage: robodet_capture --clients=N --seed=S --sessions=F --events=F\n"
-                 "       [--captcha] [--policy] [--pages=N] [--decoys=M]\n");
+                 "       [--captcha] [--policy] [--pages=N] [--decoys=M]\n%s",
+                 kChaosUsage);
     return flags.GetBool("help") ? 0 : 2;
   }
 
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
   config.proxy.num_decoys = static_cast<size_t>(flags.GetInt("decoys", 4));
   config.proxy.enable_captcha = flags.GetBool("captcha");
   config.proxy.enable_policy = flags.GetBool("policy");
+  ApplyChaosFlags(flags, &config);
   if (config.proxy.enable_captcha) {
     config.mix.human_captcha_attempt_prob = 0.38;
   }

@@ -7,9 +7,17 @@
 //   robodet_metrics [--format=prom|json] [--clients=200] [--seed=1]
 //       [--min-requests=10] [--traces] [--trace-capacity=128]
 //       [--sample-every=64] [--policy]
+//       [--fault-rate=R] [--slow-rate=R/2] [--corrupt-rate=R/2]
+//       [--fault-seed=1337] [--breaker-threshold=5]
+//       [--breaker-cooldown-ms=30000] [--fail-closed] [--admission-rps=0]
+//
+// With --fault-rate the scrape shows the resilient path end-to-end:
+// robodet_origin_* fetch outcomes, robodet_breaker_* trips and probes,
+// and robodet_degraded_* ladder decisions.
 #include <cstdio>
 
 #include "src/robodet.h"
+#include "tools/chaos_flags.h"
 #include "tools/flags.h"
 
 using namespace robodet;
@@ -21,7 +29,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: robodet_metrics [--format=prom|json] [--clients=200] "
                  "[--seed=1] [--min-requests=10] [--traces] "
-                 "[--trace-capacity=128] [--sample-every=64] [--policy]\n");
+                 "[--trace-capacity=128] [--sample-every=64] [--policy]\n%s",
+                 kChaosUsage);
     return flags.GetBool("help") ? 0 : 2;
   }
 
@@ -29,6 +38,7 @@ int main(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   config.num_clients = static_cast<size_t>(flags.GetInt("clients", 200));
   config.proxy.enable_policy = flags.GetBool("policy");
+  ApplyChaosFlags(flags, &config);
   Experiment experiment(config);
 
   TraceRecorder::Config trace_config;
