@@ -60,7 +60,16 @@ struct InjectionResult {
 // if present, else before <body>, else prepended); the mouse handler is an
 // attribute on <body>; the UA-echo script and hidden link go inside <body>
 // (appended before </body> or at document end).
+//
+// This is the serve-path implementation: a single streaming pass over the
+// zero-copy token stream that appends into one reserved output buffer.
+// Output is byte-identical to InstrumentHtmlLegacy on every input.
 InjectionResult InstrumentHtml(std::string_view html, const InjectionPlan& plan);
+
+// Reference implementation: materializes the full token vector, mutates it
+// and re-serializes (the pre-streaming path). Kept as the oracle for the
+// golden parity test and as the baseline for bench/rewrite_throughput.
+InjectionResult InstrumentHtmlLegacy(std::string_view html, const InjectionPlan& plan);
 
 }  // namespace robodet
 

@@ -1,7 +1,5 @@
 #include "src/html/tokenizer.h"
 
-#include <cctype>
-
 #include "src/util/strings.h"
 
 namespace robodet {
@@ -11,73 +9,390 @@ bool IsTagNameChar(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-';
 }
 
-bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+// ASCII-only whitespace, byte-equal to std::isspace in the C locale but
+// without the locale-table indirection (this sits in the per-attribute
+// hot loop of the streaming rewriter).
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r';
+}
 
-// Parses attributes from `s` starting at `i` until '>' or end. Updates `i`
-// to point one past the closing '>' (or to end on truncation).
-void ParseAttributes(std::string_view s, size_t& i, HtmlToken& tok) {
-  while (i < s.size()) {
-    while (i < s.size() && IsSpace(s[i])) {
-      ++i;
-    }
-    if (i >= s.size()) {
+bool IsAsciiAlpha(char c) { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'); }
+
+void AppendToken(std::string& out, const HtmlToken& token) {
+  switch (token.type) {
+    case HtmlTokenType::kText:
+      out.append(token.text);
+      return;
+    case HtmlTokenType::kComment:
+      out.append("<!--");
+      out.append(token.text);
+      out.append("-->");
+      return;
+    case HtmlTokenType::kDoctype:
+      out.append("<!");
+      out.append(token.text);
+      out.push_back('>');
+      return;
+    case HtmlTokenType::kEndTag:
+      out.append("</");
+      out.append(token.name);
+      out.push_back('>');
+      return;
+    case HtmlTokenType::kStartTag: {
+      out.push_back('<');
+      out.append(token.name);
+      for (const auto& [k, v] : token.attrs) {
+        out.push_back(' ');
+        out.append(k);
+        out.append("=\"");
+        AppendReplaceAll(out, v, "\"", "&quot;");
+        out.push_back('"');
+      }
+      if (token.self_closing) {
+        out.append(" /");
+      }
+      out.push_back('>');
       return;
     }
-    if (s[i] == '>') {
-      ++i;
-      return;
-    }
-    if (s[i] == '/') {
-      ++i;
-      if (i < s.size() && s[i] == '>') {
-        tok.self_closing = true;
-        ++i;
-        return;
-      }
-      continue;
-    }
-    // Attribute name.
-    const size_t name_start = i;
-    while (i < s.size() && s[i] != '=' && s[i] != '>' && s[i] != '/' && !IsSpace(s[i])) {
-      ++i;
-    }
-    std::string name = AsciiLower(s.substr(name_start, i - name_start));
-    if (name.empty()) {
-      ++i;  // Skip a stray character to guarantee progress.
-      continue;
-    }
-    while (i < s.size() && IsSpace(s[i])) {
-      ++i;
-    }
-    std::string value;
-    if (i < s.size() && s[i] == '=') {
-      ++i;
-      while (i < s.size() && IsSpace(s[i])) {
-        ++i;
-      }
-      if (i < s.size() && (s[i] == '"' || s[i] == '\'')) {
-        const char quote = s[i++];
-        const size_t v_start = i;
-        while (i < s.size() && s[i] != quote) {
-          ++i;
-        }
-        value = std::string(s.substr(v_start, i - v_start));
-        if (i < s.size()) {
-          ++i;  // Closing quote.
-        }
-      } else {
-        const size_t v_start = i;
-        while (i < s.size() && s[i] != '>' && !IsSpace(s[i])) {
-          ++i;
-        }
-        value = std::string(s.substr(v_start, i - v_start));
-      }
-    }
-    tok.attrs.emplace_back(std::move(name), std::move(value));
   }
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Zero-copy streaming layer.
+// ---------------------------------------------------------------------------
+
+bool HtmlAttrCursor::Next(HtmlAttrView& out) {
+  if (done_) {
+    return false;
+  }
+  const std::string_view s = s_;
+  while (i_ < s.size()) {
+    while (i_ < s.size() && IsSpace(s[i_])) {
+      ++i_;
+    }
+    if (i_ >= s.size()) {
+      break;
+    }
+    if (s[i_] == '>') {
+      ++i_;
+      end_ = i_;
+      done_ = true;
+      return false;
+    }
+    if (s[i_] == '/') {
+      ++i_;
+      if (i_ < s.size() && s[i_] == '>') {
+        self_closing_ = true;
+        ++i_;
+        end_ = i_;
+        done_ = true;
+        return false;
+      }
+      continue;
+    }
+    // Attribute name.
+    const size_t name_start = i_;
+    bool lower_name = true;
+    while (i_ < s.size() && s[i_] != '=' && s[i_] != '>' && s[i_] != '/' && !IsSpace(s[i_])) {
+      lower_name &= !(s[i_] >= 'A' && s[i_] <= 'Z');
+      ++i_;
+    }
+    if (i_ == name_start) {
+      ++i_;  // Skip a stray character to guarantee progress.
+      continue;
+    }
+    out.name = s.substr(name_start, i_ - name_start);
+    out.value = {};
+    out.raw = {};
+    out.canonical = false;
+    const size_t name_end = i_;
+    while (i_ < s.size() && IsSpace(s[i_])) {
+      ++i_;
+    }
+    if (i_ < s.size() && s[i_] == '=') {
+      ++i_;
+      while (i_ < s.size() && IsSpace(s[i_])) {
+        ++i_;
+      }
+      if (i_ < s.size() && (s[i_] == '"' || s[i_] == '\'')) {
+        const char quote = s[i_++];
+        const size_t v_start = i_;
+        const size_t close = s.find(quote, v_start);  // memchr, not per-byte.
+        i_ = close == std::string_view::npos ? s.size() : close;
+        out.value = s.substr(v_start, i_ - v_start);
+        if (i_ < s.size()) {
+          ++i_;  // Closing quote.
+          // A double-quoted value cannot contain '"', so when the name is
+          // lowercase and `="` follows it directly the source bytes are
+          // already the normalized serialization.
+          if (lower_name && quote == '"' && v_start == name_end + 2) {
+            out.raw = s.substr(name_start, i_ - name_start);
+            out.canonical = true;
+          }
+        }
+      } else {
+        const size_t v_start = i_;
+        while (i_ < s.size() && s[i_] != '>' && !IsSpace(s[i_])) {
+          ++i_;
+        }
+        out.value = s.substr(v_start, i_ - v_start);
+      }
+    }
+    return true;
+  }
+  end_ = s.size();
+  done_ = true;
+  return false;
+}
+
+void HtmlTokenStream::Push(const HtmlTokenView& v) { queue_[queue_size_++] = v; }
+
+void HtmlTokenStream::PushText(std::string_view text) {
+  if (text.empty()) {
+    return;
+  }
+  if (sink_ != nullptr) {
+    sink_->append(text);
+    return;
+  }
+  HtmlTokenView tok;
+  tok.type = HtmlTokenType::kText;
+  tok.text = text;
+  Push(tok);
+}
+
+bool HtmlTokenStream::Routed(std::string_view name) const {
+  for (size_t k = 0; k < routed_count_; ++k) {
+    if (EqualsIgnoreCase(name, routed_[k])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void HtmlTokenStream::Produce() {
+  const std::string_view html = html_;
+  const size_t n = html.size();
+  while (queue_size_ == 0 && !scan_done_ && i_ < n) {
+    if (html[i_] != '<') {
+      // Skip the text run in one memchr instead of per-byte stepping.
+      const size_t lt = html.find('<', i_);
+      i_ = lt == std::string_view::npos ? n : lt;
+      continue;
+    }
+    // Look ahead to decide what kind of markup starts here.
+    if (i_ + 1 >= n) {
+      scan_done_ = true;  // Trailing '<' falls through to the final text emit.
+      break;
+    }
+    const char next = html[i_ + 1];
+    if (next == '!') {
+      PushText(html.substr(text_start_, i_ - text_start_));
+      HtmlTokenView tok;
+      if (html.compare(i_, 4, "<!--") == 0) {
+        tok.type = HtmlTokenType::kComment;
+        const size_t end = html.find("-->", i_ + 4);
+        if (end == std::string_view::npos) {
+          tok.text = html.substr(i_ + 4);
+          i_ = n;
+        } else {
+          tok.text = html.substr(i_ + 4, end - (i_ + 4));
+          i_ = end + 3;
+        }
+      } else {
+        tok.type = HtmlTokenType::kDoctype;
+        const size_t end = html.find('>', i_);
+        if (end == std::string_view::npos) {
+          tok.text = html.substr(i_ + 2);
+          i_ = n;
+        } else {
+          tok.text = html.substr(i_ + 2, end - (i_ + 2));
+          i_ = end + 1;
+        }
+      }
+      if (sink_ != nullptr) {
+        AppendTokenView(*sink_, tok);
+      } else {
+        Push(tok);
+      }
+      text_start_ = i_;
+      continue;
+    }
+    const bool is_end = next == '/';
+    const size_t name_start = i_ + (is_end ? 2 : 1);
+    // Tag names must start with a letter; "<3" and "< b" are literal text.
+    const bool starts_tag = name_start < n && IsAsciiAlpha(html[name_start]);
+    if (!starts_tag) {
+      ++i_;
+      continue;
+    }
+    PushText(html.substr(text_start_, i_ - text_start_));
+
+    size_t j = name_start;
+    while (j < n && IsTagNameChar(html[j])) {
+      ++j;
+    }
+    HtmlTokenView tok;
+    tok.type = is_end ? HtmlTokenType::kEndTag : HtmlTokenType::kStartTag;
+    tok.name = html.substr(name_start, j - name_start);
+    if (sink_ != nullptr && !Routed(tok.name)) {
+      // Routing mode, ordinary tag: serialize during the end-finding walk —
+      // one pass over the attribute bytes instead of two.
+      std::string& out = *sink_;
+      HtmlAttrCursor cursor(html.substr(j));
+      if (is_end) {
+        HtmlAttrView ignored;
+        while (cursor.Next(ignored)) {
+        }
+        out.append("</");
+        AppendAsciiLower(out, tok.name);
+        out.push_back('>');
+      } else {
+        out.push_back('<');
+        AppendAsciiLower(out, tok.name);
+        HtmlAttrView a;
+        while (cursor.Next(a)) {
+          out.push_back(' ');
+          if (a.canonical) {
+            out.append(a.raw);  // Already `name="value"` in normalized form.
+            continue;
+          }
+          AppendAsciiLower(out, a.name);
+          out.append("=\"");
+          AppendReplaceAll(out, a.value, "\"", "&quot;");
+          out.push_back('"');
+        }
+        if (cursor.self_closing()) {
+          out.append(" /");
+        }
+        out.push_back('>');
+      }
+      tok.self_closing = cursor.self_closing();
+      i_ = j + cursor.end_offset();
+    } else {
+      // Walk (without materializing) the attribute region to find the tag
+      // end and the '/>' flag; consumers re-walk it lazily via
+      // HtmlAttrCursor.
+      HtmlAttrCursor cursor(html.substr(j));
+      HtmlAttrView ignored;
+      while (cursor.Next(ignored)) {
+      }
+      tok.attr_src = html.substr(j, cursor.end_offset());
+      tok.self_closing = cursor.self_closing();
+      i_ = j + cursor.end_offset();
+      Push(tok);
+    }
+    text_start_ = i_;
+
+    // Raw-text elements: consume until the matching close tag. The close
+    // search is byte-exact on the canonical lowercase form, matching the
+    // legacy tokenizer (an upper-case close tag leaves the element open).
+    if (tok.type == HtmlTokenType::kStartTag && !tok.self_closing &&
+        (EqualsIgnoreCase(tok.name, "script") || EqualsIgnoreCase(tok.name, "style"))) {
+      const std::string_view close = EqualsIgnoreCase(tok.name, "script") ? "</script" : "</style";
+      size_t end = i_;
+      for (;;) {
+        end = html.find(close, end);
+        if (end == std::string_view::npos) {
+          end = n;
+          break;
+        }
+        const size_t after = end + close.size();
+        if (after >= n || html[after] == '>' || IsSpace(html[after])) {
+          break;
+        }
+        ++end;
+      }
+      PushText(html.substr(i_, end - i_));
+      if (end < n) {
+        // Emit the close tag (attributes on it are dropped, as legacy did).
+        const size_t close_end = html.find('>', end);
+        HtmlTokenView close_tok;
+        close_tok.type = HtmlTokenType::kEndTag;
+        close_tok.name = close.substr(2);  // Static-storage "script"/"style".
+        if (sink_ != nullptr) {
+          sink_->append(close);
+          sink_->push_back('>');
+        } else {
+          Push(close_tok);
+        }
+        i_ = close_end == std::string_view::npos ? n : close_end + 1;
+      } else {
+        i_ = n;
+      }
+      text_start_ = i_;
+    }
+  }
+  if (queue_size_ == 0 && !final_emitted_ && (scan_done_ || i_ >= n)) {
+    final_emitted_ = true;
+    PushText(html.substr(text_start_, i_ > text_start_ ? i_ - text_start_ : n - text_start_));
+  }
+}
+
+bool HtmlTokenStream::Next(HtmlTokenView& out) {
+  if (queue_size_ == 0) {
+    Produce();
+    if (queue_size_ == 0) {
+      return false;
+    }
+  }
+  out = queue_[queue_head_++];
+  if (--queue_size_ == 0) {
+    queue_head_ = 0;
+  }
+  return true;
+}
+
+void AppendTokenView(std::string& out, const HtmlTokenView& v) {
+  switch (v.type) {
+    case HtmlTokenType::kText:
+      out.append(v.text);
+      return;
+    case HtmlTokenType::kComment:
+      out.append("<!--");
+      out.append(v.text);
+      out.append("-->");
+      return;
+    case HtmlTokenType::kDoctype:
+      out.append("<!");
+      out.append(v.text);
+      out.push_back('>');
+      return;
+    case HtmlTokenType::kEndTag:
+      out.append("</");
+      AppendAsciiLower(out, v.name);
+      out.push_back('>');
+      return;
+    case HtmlTokenType::kStartTag: {
+      out.push_back('<');
+      AppendAsciiLower(out, v.name);
+      HtmlAttrCursor cursor(v.attr_src);
+      HtmlAttrView a;
+      while (cursor.Next(a)) {
+        out.push_back(' ');
+        if (a.canonical) {
+          out.append(a.raw);  // Already `name="value"` in normalized form.
+          continue;
+        }
+        AppendAsciiLower(out, a.name);
+        out.append("=\"");
+        AppendReplaceAll(out, a.value, "\"", "&quot;");
+        out.push_back('"');
+      }
+      if (v.self_closing) {
+        out.append(" /");
+      }
+      out.push_back('>');
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Materializing layer (compatibility shim over the stream).
+// ---------------------------------------------------------------------------
 
 std::string_view HtmlToken::Attr(std::string_view attr_name) const {
   for (const auto& [k, v] : attrs) {
@@ -109,155 +424,52 @@ void HtmlToken::SetAttr(std::string_view attr_name, std::string_view value) {
 
 std::vector<HtmlToken> TokenizeHtml(std::string_view html) {
   std::vector<HtmlToken> tokens;
-  size_t i = 0;
-  const size_t n = html.size();
-
-  auto emit_text = [&tokens](std::string_view text) {
-    if (text.empty()) {
-      return;
-    }
+  HtmlTokenStream stream(html);
+  HtmlTokenView v;
+  while (stream.Next(v)) {
     HtmlToken tok;
-    tok.type = HtmlTokenType::kText;
-    tok.text = std::string(text);
+    tok.type = v.type;
+    tok.self_closing = v.self_closing;
+    switch (v.type) {
+      case HtmlTokenType::kText:
+      case HtmlTokenType::kComment:
+      case HtmlTokenType::kDoctype:
+        tok.text.assign(v.text);
+        break;
+      case HtmlTokenType::kStartTag:
+      case HtmlTokenType::kEndTag: {
+        tok.name = AsciiLower(v.name);
+        HtmlAttrCursor cursor(v.attr_src);
+        HtmlAttrView a;
+        while (cursor.Next(a)) {
+          tok.attrs.emplace_back(AsciiLower(a.name), std::string(a.value));
+        }
+        break;
+      }
+    }
     tokens.push_back(std::move(tok));
-  };
-
-  size_t text_start = 0;
-  while (i < n) {
-    if (html[i] != '<') {
-      ++i;
-      continue;
-    }
-    // Look ahead to decide what kind of markup starts here.
-    if (i + 1 >= n) {
-      break;  // Trailing '<' becomes text.
-    }
-    const char next = html[i + 1];
-    if (next == '!') {
-      emit_text(html.substr(text_start, i - text_start));
-      if (html.compare(i, 4, "<!--") == 0) {
-        const size_t end = html.find("-->", i + 4);
-        HtmlToken tok;
-        tok.type = HtmlTokenType::kComment;
-        if (end == std::string_view::npos) {
-          tok.text = std::string(html.substr(i + 4));
-          i = n;
-        } else {
-          tok.text = std::string(html.substr(i + 4, end - (i + 4)));
-          i = end + 3;
-        }
-        tokens.push_back(std::move(tok));
-      } else {
-        const size_t end = html.find('>', i);
-        HtmlToken tok;
-        tok.type = HtmlTokenType::kDoctype;
-        if (end == std::string_view::npos) {
-          tok.text = std::string(html.substr(i + 2));
-          i = n;
-        } else {
-          tok.text = std::string(html.substr(i + 2, end - (i + 2)));
-          i = end + 1;
-        }
-        tokens.push_back(std::move(tok));
-      }
-      text_start = i;
-      continue;
-    }
-    const bool is_end = next == '/';
-    const size_t name_start = i + (is_end ? 2 : 1);
-    // Tag names must start with a letter; "<3" and "< b" are literal text.
-    const bool starts_tag =
-        name_start < n && ((html[name_start] >= 'a' && html[name_start] <= 'z') ||
-                           (html[name_start] >= 'A' && html[name_start] <= 'Z'));
-    if (!starts_tag) {
-      ++i;
-      continue;
-    }
-    emit_text(html.substr(text_start, i - text_start));
-
-    size_t j = name_start;
-    while (j < n && IsTagNameChar(html[j])) {
-      ++j;
-    }
-    HtmlToken tok;
-    tok.type = is_end ? HtmlTokenType::kEndTag : HtmlTokenType::kStartTag;
-    tok.name = AsciiLower(html.substr(name_start, j - name_start));
-    i = j;
-    ParseAttributes(html, i, tok);
-    const std::string tag_name = tok.name;
-    const bool is_start = tok.type == HtmlTokenType::kStartTag;
-    const bool self_closing = tok.self_closing;
-    tokens.push_back(std::move(tok));
-    text_start = i;
-
-    // Raw-text elements: consume until the matching close tag.
-    if (is_start && !self_closing && (tag_name == "script" || tag_name == "style")) {
-      const std::string close = "</" + tag_name;
-      size_t end = i;
-      for (;;) {
-        end = html.find(close, end);
-        if (end == std::string_view::npos) {
-          end = n;
-          break;
-        }
-        const size_t after = end + close.size();
-        if (after >= n || html[after] == '>' || IsSpace(html[after])) {
-          break;
-        }
-        ++end;
-      }
-      emit_text(html.substr(i, end - i));
-      if (end < n) {
-        // Emit the close tag.
-        const size_t close_end = html.find('>', end);
-        HtmlToken close_tok;
-        close_tok.type = HtmlTokenType::kEndTag;
-        close_tok.name = tag_name;
-        tokens.push_back(std::move(close_tok));
-        i = close_end == std::string_view::npos ? n : close_end + 1;
-      } else {
-        i = n;
-      }
-      text_start = i;
-    }
   }
-  emit_text(html.substr(text_start, i > text_start ? i - text_start : html.size() - text_start));
   return tokens;
 }
 
 std::string SerializeToken(const HtmlToken& token) {
-  switch (token.type) {
-    case HtmlTokenType::kText:
-      return token.text;
-    case HtmlTokenType::kComment:
-      return "<!--" + token.text + "-->";
-    case HtmlTokenType::kDoctype:
-      return "<!" + token.text + ">";
-    case HtmlTokenType::kEndTag:
-      return "</" + token.name + ">";
-    case HtmlTokenType::kStartTag: {
-      std::string out = "<" + token.name;
-      for (const auto& [k, v] : token.attrs) {
-        out += ' ';
-        out += k;
-        out += "=\"";
-        out += ReplaceAll(v, "\"", "&quot;");
-        out += '"';
-      }
-      if (token.self_closing) {
-        out += " /";
-      }
-      out += '>';
-      return out;
-    }
-  }
-  return "";
+  std::string out;
+  AppendToken(out, token);
+  return out;
 }
 
 std::string SerializeHtml(const std::vector<HtmlToken>& tokens) {
   std::string out;
+  size_t estimate = 0;
   for (const HtmlToken& tok : tokens) {
-    out += SerializeToken(tok);
+    estimate += tok.name.size() + tok.text.size() + 8;
+    for (const auto& [k, v] : tok.attrs) {
+      estimate += k.size() + v.size() + 4;
+    }
+  }
+  out.reserve(estimate);
+  for (const HtmlToken& tok : tokens) {
+    AppendToken(out, tok);
   }
   return out;
 }

@@ -2,9 +2,28 @@
 // produced, so the tokenizer must survive unquoted attributes, unclosed
 // tags and truncated documents; it never throws, it just yields its best
 // token stream. Round-tripping (tokenize + serialize) preserves content.
+//
+// Two API layers share one scanner:
+//
+//  * HtmlTokenStream / HtmlTokenView — the zero-copy streaming layer. Every
+//    view (tag name, text payload, raw attribute bytes) is a string_view
+//    into the caller's buffer; nothing is allocated per token and
+//    attributes are only parsed when a consumer walks them with
+//    HtmlAttrCursor. This is the serve-path layer used by the streaming
+//    rewriter in src/html/injector.
+//
+//  * TokenizeHtml / HtmlToken — the legacy materializing layer, kept as a
+//    thin shim over the stream for tests and offline tools that want to
+//    mutate a token vector in place.
+//
+// AppendTokenView serializes a view with exactly the same normalization as
+// SerializeToken (lowercased names, double-quoted attributes with '"'
+// escaped), so `for each view: AppendTokenView(out, v)` is byte-identical
+// to SerializeHtml(TokenizeHtml(html)).
 #ifndef ROBODET_SRC_HTML_TOKENIZER_H_
 #define ROBODET_SRC_HTML_TOKENIZER_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -19,6 +38,116 @@ enum class HtmlTokenType {
   kComment,
   kDoctype,
 };
+
+// ---------------------------------------------------------------------------
+// Zero-copy streaming layer.
+// ---------------------------------------------------------------------------
+
+// One attribute as raw spans of the source buffer. `name` keeps the source
+// casing (consumers lowercase on use); `value` is the bytes between the
+// quotes (or the unquoted run), without any unescaping.
+struct HtmlAttrView {
+  std::string_view name;
+  std::string_view value;
+  // When the source bytes are already in normalized form — lowercase name,
+  // then exactly `="` and a double-quoted value — `canonical` is true and
+  // `raw` spans `name="value"` verbatim, so serializers can emit the
+  // attribute with one bulk copy instead of re-normalizing. Empty/false
+  // for every other spelling (single quotes, spaces around '=', uppercase).
+  std::string_view raw;
+  bool canonical = false;
+};
+
+// A token as spans of the source buffer. Valid only while that buffer is.
+struct HtmlTokenView {
+  HtmlTokenType type = HtmlTokenType::kText;
+  // Source-cased tag name for start/end tags; empty otherwise.
+  std::string_view name;
+  // Payload for text/comment/doctype tokens (comment text excludes the
+  // <!-- --> delimiters); empty otherwise.
+  std::string_view text;
+  // Raw bytes of the attribute region of a start/end tag, from one past
+  // the tag name through the closing '>' (when present). Walk it with
+  // HtmlAttrCursor; it is not parsed up front.
+  std::string_view attr_src;
+  bool self_closing = false;
+};
+
+// Lazily walks the attribute region of a tag. Replicates the legacy
+// ParseAttributes traversal exactly (quoted values may contain '>',
+// valueless attributes yield an empty value, stray bytes are skipped).
+class HtmlAttrCursor {
+ public:
+  explicit HtmlAttrCursor(std::string_view attr_src) : s_(attr_src) {}
+
+  // Yields the next attribute, or returns false at the end of the tag.
+  bool Next(HtmlAttrView& out);
+
+  // After Next() returns false: one past the closing '>' within attr_src
+  // (or attr_src.size() on truncation), and whether the tag ended in '/>'.
+  size_t end_offset() const { return end_; }
+  bool self_closing() const { return self_closing_; }
+
+ private:
+  std::string_view s_;
+  size_t i_ = 0;
+  size_t end_ = 0;
+  bool self_closing_ = false;
+  bool done_ = false;
+};
+
+// Pull-based tokenizer; emits the exact token sequence TokenizeHtml
+// materializes, without allocating. <script>/<style> contents are raw text
+// until the matching close tag, as per the HTML spec's raw-text states.
+class HtmlTokenStream {
+ public:
+  explicit HtmlTokenStream(std::string_view html) : html_(html) {}
+
+  // Routing mode, for single-pass rewriters: every ordinary token is
+  // serialized (with the usual normalization) straight into `sink` during
+  // the scan, and Next() yields only start/end tags whose name matches one
+  // of the `routed_count` entries in `routed_names` case-insensitively —
+  // the caller serializes those itself, in order, onto the same sink. This
+  // removes the per-token hand-off and the second attribute walk for the
+  // bulk of a document. `routed_names` must outlive the stream and must
+  // not contain raw-text element names (script/style): their bodies are
+  // flushed to the sink as soon as the start tag is scanned, so a routed
+  // raw-text tag would be emitted out of order.
+  HtmlTokenStream(std::string_view html, std::string* sink,
+                  const std::string_view* routed_names, size_t routed_count)
+      : html_(html), sink_(sink), routed_(routed_names), routed_count_(routed_count) {}
+
+  // Fills `out` with the next token (in routing mode: the next routed
+  // tag); returns false at end of input.
+  bool Next(HtmlTokenView& out);
+
+ private:
+  void Produce();
+  void Push(const HtmlTokenView& v);
+  void PushText(std::string_view text);
+  bool Routed(std::string_view name) const;
+
+  std::string_view html_;
+  std::string* sink_ = nullptr;
+  const std::string_view* routed_ = nullptr;
+  size_t routed_count_ = 0;
+  size_t i_ = 0;
+  size_t text_start_ = 0;
+  bool scan_done_ = false;
+  bool final_emitted_ = false;
+  // Tiny fixed queue: one production step yields at most 4 tokens
+  // (pending text + start tag + raw-text body + synthesized close tag).
+  HtmlTokenView queue_[4];
+  size_t queue_size_ = 0;
+  size_t queue_head_ = 0;
+};
+
+// Serializes one view onto `out` with the legacy normalization rules.
+void AppendTokenView(std::string& out, const HtmlTokenView& v);
+
+// ---------------------------------------------------------------------------
+// Materializing layer (compatibility shim over the stream).
+// ---------------------------------------------------------------------------
 
 struct HtmlToken {
   HtmlTokenType type = HtmlTokenType::kText;

@@ -15,23 +15,29 @@ constexpr std::string_view kBeaconStem = "bk_";
 constexpr std::string_view kUaEchoStem = "ua_";
 
 std::string BeaconUrl(const BeaconSpec& spec, const std::string& key) {
-  return "http://" + spec.host + spec.path_prefix + std::string(kBeaconStem) + key + ".jpg";
+  std::string url;
+  url.reserve(7 + spec.host.size() + spec.path_prefix.size() + kBeaconStem.size() + key.size() +
+              4);
+  url.append("http://").append(spec.host).append(spec.path_prefix).append(kBeaconStem);
+  url.append(key).append(".jpg");
+  return url;
 }
 
-// One guarded fetcher function in the Figure-1 shape.
+// One guarded fetcher function in the Figure-1 shape. Appends in place —
+// this runs once per probe key on every instrumented page, so it must not
+// churn temporaries.
 void AppendFetcher(std::string& out, int index, const std::string& url) {
-  const std::string flag = "done_" + std::to_string(index);
-  const std::string fn = "fetch_" + std::to_string(index);
-  out += "var " + flag + " = false;\n";
-  out += "function " + fn + "() {\n";
-  out += "  if (" + flag + " == false) {\n";
-  out += "    var img = new Image();\n";
-  out += "    " + flag + " = true;\n";
-  out += "    img.src = '" + url + "';\n";
-  out += "    return true;\n";
-  out += "  }\n";
-  out += "  return false;\n";
-  out += "}\n";
+  const std::string idx = std::to_string(index);
+  out.append("var done_").append(idx).append(" = false;\n");
+  out.append("function fetch_").append(idx).append("() {\n");
+  out.append("  if (done_").append(idx).append(" == false) {\n");
+  out.append("    var img = new Image();\n");
+  out.append("    done_").append(idx).append(" = true;\n");
+  out.append("    img.src = '").append(url).append("';\n");
+  out.append("    return true;\n");
+  out.append("  }\n");
+  out.append("  return false;\n");
+  out.append("}\n");
 }
 
 }  // namespace
@@ -113,6 +119,7 @@ std::string GenerateUaEchoScript(const std::string& host, const std::string& pat
   // getuseragnt()). A client that fetches the written stylesheet has, by
   // construction, executed JavaScript.
   std::string src;
+  src.reserve(192 + host.size() + path_prefix.size() + token.size());
   src += "var agt = navigator.userAgent.toLowerCase();\n";
   src += "agt = agt.replaceAll(' ', '');\n";
   src += "agt = agt.replaceAll('/', '-');\n";

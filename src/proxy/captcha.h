@@ -6,6 +6,7 @@
 #ifndef ROBODET_SRC_PROXY_CAPTCHA_H_
 #define ROBODET_SRC_PROXY_CAPTCHA_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -23,6 +24,10 @@ class CaptchaService {
   // RenderChallenge.
   std::string IssueChallenge();
 
+  // Serve-path variant: mints the challenge token deterministically from
+  // per-request entropy (thread-safe, no shared-rng draw).
+  std::string IssueChallenge(uint64_t entropy);
+
   // Challenge page HTML. Contains "answer:NNNNNN" (the stand-in for the
   // distorted image) and the submission URL shape.
   std::string RenderChallenge(std::string_view token, std::string_view submit_prefix) const;
@@ -38,11 +43,11 @@ class CaptchaService {
   // unless they model OCR capability.
   static std::optional<std::string> ReadAnswerFromBody(std::string_view body);
 
-  uint64_t issued() const { return issued_; }
+  uint64_t issued() const { return issued_.load(std::memory_order_relaxed); }
 
  private:
   TokenMinter* minter_;  // Not owned.
-  uint64_t issued_ = 0;
+  std::atomic<uint64_t> issued_{0};
 };
 
 }  // namespace robodet

@@ -1,6 +1,18 @@
 #include "src/proxy/key_table.h"
 
+#include <algorithm>
+
+#include "src/util/hash.h"
+
 namespace robodet {
+
+KeyTable::KeyTable(Config config) : config_(config) {
+  config_.num_shards = std::max<size_t>(1, config_.num_shards);
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
 
 void KeyTable::BindMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
@@ -15,91 +27,129 @@ void KeyTable::BindMetrics(MetricsRegistry* registry) {
   metrics_.entries = registry->FindOrCreateGauge("robodet_key_table_entries");
 }
 
+KeyTable::Shard& KeyTable::ShardFor(IpAddress ip) {
+  return *shards_[Mix64(ip.value()) % shards_.size()];
+}
+
 void KeyTable::UpdateEntriesGauge() {
   if (metrics_.entries != nullptr) {
-    metrics_.entries->Set(static_cast<int64_t>(total_entries_));
+    metrics_.entries->Set(static_cast<int64_t>(total_entries()));
   }
 }
 
 void KeyTable::Record(IpAddress ip, const std::string& page_path, const std::string& key,
                       TimeMs now) {
-  // Global bound: expire lazily before (re)acquiring any bucket reference —
-  // ExpireOld erases empty buckets, so references must not be held across it.
-  if (total_entries_ >= config_.max_total_entries) {
+  // Global bound: sweep everything before refusing. Rare (the bound is
+  // sized for memory pressure, not steady state), so the full sweep is
+  // acceptable even from a worker thread.
+  if (total_entries() >= config_.max_total_entries) {
     ExpireOld(now);
   }
-  if (total_entries_ >= config_.max_total_entries) {
+  if (total_entries() >= config_.max_total_entries) {
     return;  // Still full: refuse to grow. Detection degrades gracefully.
   }
-  std::deque<Entry>& entries = by_ip_[ip.value()];
-  while (entries.size() >= config_.max_entries_per_ip) {
-    DropOldestFor(entries);
-    IncIfBound(metrics_.evicted);
+  Shard& shard = ShardFor(ip);
+  size_t expired_here = 0;
+  size_t evicted_here = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::deque<Entry>& entries = shard.by_ip[ip.value()];
+    // Entries are issued in this client's time order, so expired ones sit
+    // at the front. Reaping them here keeps per-IP state bounded even when
+    // no global sweep ever runs (concurrent mode).
+    while (!entries.empty() && now - entries.front().issued_at > config_.entry_ttl) {
+      entries.pop_front();
+      ++expired_here;
+    }
+    while (entries.size() >= config_.max_entries_per_ip) {
+      entries.pop_front();
+      ++evicted_here;
+    }
+    entries.push_back(Entry{page_path, key, now});
   }
-  entries.push_back(Entry{page_path, key, now});
-  ++total_entries_;
-  ++issued_;
+  total_entries_.fetch_sub(expired_here + evicted_here, std::memory_order_relaxed);
+  total_entries_.fetch_add(1, std::memory_order_relaxed);
+  issued_.fetch_add(1, std::memory_order_relaxed);
+  IncIfBound(metrics_.expired, expired_here);
+  IncIfBound(metrics_.evicted, evicted_here);
   IncIfBound(metrics_.issued);
   UpdateEntriesGauge();
 }
 
 bool KeyTable::MatchAndConsume(IpAddress ip, const std::string& key, TimeMs now) {
-  auto it = by_ip_.find(ip.value());
-  if (it == by_ip_.end()) {
-    ++mismatched_;
-    IncIfBound(metrics_.mismatched);
-    return false;
-  }
-  std::deque<Entry>& entries = it->second;
-  for (auto e = entries.begin(); e != entries.end(); ++e) {
-    if (e->key == key) {
-      const bool live = now - e->issued_at <= config_.entry_ttl;
-      entries.erase(e);
-      --total_entries_;
-      if (entries.empty()) {
-        by_ip_.erase(it);
+  Shard& shard = ShardFor(ip);
+  bool found = false;
+  bool live = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.by_ip.find(ip.value());
+    if (it != shard.by_ip.end()) {
+      std::deque<Entry>& entries = it->second;
+      for (auto e = entries.begin(); e != entries.end(); ++e) {
+        if (e->key == key) {
+          found = true;
+          live = now - e->issued_at <= config_.entry_ttl;
+          entries.erase(e);
+          if (entries.empty()) {
+            shard.by_ip.erase(it);
+          }
+          break;
+        }
       }
-      UpdateEntriesGauge();
-      if (live) {
-        ++matched_;
-        IncIfBound(metrics_.matched);
-        return true;
-      }
-      ++mismatched_;
-      IncIfBound(metrics_.mismatched);
-      return false;
     }
   }
-  ++mismatched_;
+  if (found) {
+    total_entries_.fetch_sub(1, std::memory_order_relaxed);
+    UpdateEntriesGauge();
+  }
+  if (found && live) {
+    matched_.fetch_add(1, std::memory_order_relaxed);
+    IncIfBound(metrics_.matched);
+    return true;
+  }
+  mismatched_.fetch_add(1, std::memory_order_relaxed);
   IncIfBound(metrics_.mismatched);
   return false;
 }
 
+size_t KeyTable::ExpireShard(Shard& shard, TimeMs now) {
+  size_t reaped = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.by_ip.begin(); it != shard.by_ip.end();) {
+      std::deque<Entry>& entries = it->second;
+      while (!entries.empty() && now - entries.front().issued_at > config_.entry_ttl) {
+        entries.pop_front();
+        ++reaped;
+      }
+      if (entries.empty()) {
+        it = shard.by_ip.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (reaped > 0) {
+    total_entries_.fetch_sub(reaped, std::memory_order_relaxed);
+    IncIfBound(metrics_.expired, reaped);
+  }
+  return reaped;
+}
+
 size_t KeyTable::ExpireOld(TimeMs now) {
   size_t reaped = 0;
-  for (auto it = by_ip_.begin(); it != by_ip_.end();) {
-    std::deque<Entry>& entries = it->second;
-    while (!entries.empty() && now - entries.front().issued_at > config_.entry_ttl) {
-      entries.pop_front();
-      --total_entries_;
-      ++reaped;
-      IncIfBound(metrics_.expired);
-    }
-    if (entries.empty()) {
-      it = by_ip_.erase(it);
-    } else {
-      ++it;
-    }
+  for (auto& shard : shards_) {
+    reaped += ExpireShard(*shard, now);
   }
   UpdateEntriesGauge();
   return reaped;
 }
 
-void KeyTable::DropOldestFor(std::deque<Entry>& entries) {
-  if (!entries.empty()) {
-    entries.pop_front();
-    --total_entries_;
-  }
+size_t KeyTable::ExpireOldIncremental(TimeMs now) {
+  const size_t idx = sweep_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  const size_t reaped = ExpireShard(*shards_[idx], now);
+  UpdateEntriesGauge();
+  return reaped;
 }
 
 }  // namespace robodet

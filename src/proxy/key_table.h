@@ -2,13 +2,22 @@
 // issued with instrumented pages (§2.1 step 1). A beacon image request is
 // a mouse-activity proof iff its k matches a live entry for that IP;
 // matching consumes the entry, which is what defeats replay.
+//
+// The table is lock-striped into shards keyed by client-IP hash so that
+// worker threads serving different clients do not contend: every per-IP
+// operation takes exactly one shard mutex. Aggregate counters are atomics;
+// cross-shard sweeps (ExpireOld) lock one shard at a time.
 #ifndef ROBODET_SRC_PROXY_KEY_TABLE_H_
 #define ROBODET_SRC_PROXY_KEY_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/http/request.h"
 #include "src/obs/metrics.h"
@@ -24,12 +33,15 @@ class KeyTable {
     size_t max_entries_per_ip = 64;
     size_t max_total_entries = 1 << 20;
     TimeMs entry_ttl = kHour;
+    // Lock stripes. More shards = less contention; must be ≥ 1.
+    size_t num_shards = 16;
   };
 
-  explicit KeyTable(Config config) : config_(config) {}
+  explicit KeyTable(Config config);
 
   // Records <page, k> for `ip`. Oldest entries fall off first when the
-  // per-IP bound is hit.
+  // per-IP bound is hit; entries for this IP that have already expired are
+  // reaped in passing (keeps per-IP state bounded without global sweeps).
   void Record(IpAddress ip, const std::string& page_path, const std::string& key, TimeMs now);
 
   // Checks and consumes a key for `ip`. True iff the key was live (issued,
@@ -40,14 +52,18 @@ class KeyTable {
   // were reaped, so callers can account the sweep.
   size_t ExpireOld(TimeMs now);
 
+  // Incremental variant: sweeps a single shard (round-robin across calls).
+  // O(table/num_shards) worst case, suitable for a per-request cadence.
+  size_t ExpireOldIncremental(TimeMs now);
+
   // Mirrors the table's counters into `registry` under
   // robodet_key_table_*; call once at wiring time.
   void BindMetrics(MetricsRegistry* registry);
 
-  size_t total_entries() const { return total_entries_; }
-  uint64_t issued() const { return issued_; }
-  uint64_t matched() const { return matched_; }
-  uint64_t mismatched() const { return mismatched_; }
+  size_t total_entries() const { return total_entries_.load(std::memory_order_relaxed); }
+  uint64_t issued() const { return issued_.load(std::memory_order_relaxed); }
+  uint64_t matched() const { return matched_.load(std::memory_order_relaxed); }
+  uint64_t mismatched() const { return mismatched_.load(std::memory_order_relaxed); }
 
  private:
   struct Entry {
@@ -56,7 +72,15 @@ class KeyTable {
     TimeMs issued_at = 0;
   };
 
-  void DropOldestFor(std::deque<Entry>& entries);
+  struct Shard {
+    std::mutex mu;
+    // Guarded by mu.
+    std::unordered_map<uint32_t, std::deque<Entry>> by_ip;
+  };
+
+  Shard& ShardFor(IpAddress ip);
+  // Reaps expired entries in one shard; caller must NOT hold shard.mu.
+  size_t ExpireShard(Shard& shard, TimeMs now);
   void UpdateEntriesGauge();
 
   struct Metrics {
@@ -70,11 +94,12 @@ class KeyTable {
 
   Config config_;
   Metrics metrics_;
-  std::unordered_map<uint32_t, std::deque<Entry>> by_ip_;
-  size_t total_entries_ = 0;
-  uint64_t issued_ = 0;
-  uint64_t matched_ = 0;
-  uint64_t mismatched_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> total_entries_{0};
+  std::atomic<uint64_t> issued_{0};
+  std::atomic<uint64_t> matched_{0};
+  std::atomic<uint64_t> mismatched_{0};
+  std::atomic<size_t> sweep_cursor_{0};
 };
 
 }  // namespace robodet

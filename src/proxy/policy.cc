@@ -19,7 +19,7 @@ void PolicyEngine::BindMetrics(MetricsRegistry* registry) {
 
 PolicyAction PolicyEngine::Evaluate(SessionState& session, Verdict verdict, TimeMs now) {
   if (session.blocked()) {
-    ++blocked_requests_;
+    blocked_requests_.fetch_add(1, std::memory_order_relaxed);
     IncIfBound(metrics_.blocked_requests);
     return PolicyAction::kBlock;
   }
@@ -38,8 +38,8 @@ PolicyAction PolicyEngine::Evaluate(SessionState& session, Verdict verdict, Time
   const bool errors_tripped = session.error_responses() > config_.max_error_responses;
   if (cgi_tripped || get_tripped || errors_tripped) {
     session.set_blocked(true);
-    ++blocked_sessions_;
-    ++blocked_requests_;
+    blocked_sessions_.fetch_add(1, std::memory_order_relaxed);
+    blocked_requests_.fetch_add(1, std::memory_order_relaxed);
     IncIfBound(metrics_.blocked_requests);
     if (cgi_tripped) {
       IncIfBound(metrics_.tripped_cgi_rate);

@@ -5,6 +5,7 @@
 #ifndef ROBODET_SRC_PROXY_POLICY_H_
 #define ROBODET_SRC_PROXY_POLICY_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/core/verdict.h"
@@ -39,8 +40,12 @@ class PolicyEngine {
   // blocked (SessionState::blocked latches).
   PolicyAction Evaluate(SessionState& session, Verdict verdict, TimeMs now);
 
-  uint64_t blocked_sessions() const { return blocked_sessions_; }
-  uint64_t blocked_requests() const { return blocked_requests_; }
+  uint64_t blocked_sessions() const {
+    return blocked_sessions_.load(std::memory_order_relaxed);
+  }
+  uint64_t blocked_requests() const {
+    return blocked_requests_.load(std::memory_order_relaxed);
+  }
 
   // Mirrors block decisions into `registry` under robodet_policy_*;
   // newly tripped sessions are labeled by which threshold fired.
@@ -56,8 +61,10 @@ class PolicyEngine {
 
   PolicyConfig config_;
   Metrics metrics_;
-  uint64_t blocked_sessions_ = 0;
-  uint64_t blocked_requests_ = 0;
+  // Atomics: Evaluate runs concurrently from worker threads (the session it
+  // mutates is the caller's own; only these aggregates are shared).
+  std::atomic<uint64_t> blocked_sessions_{0};
+  std::atomic<uint64_t> blocked_requests_{0};
 };
 
 }  // namespace robodet

@@ -4,6 +4,7 @@
 
 #include "src/html/document.h"
 #include "src/html/injector.h"
+#include "src/util/hash.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -54,6 +55,19 @@ Response Overloaded() {
 // Decorrelates the resilience layer's jitter stream from the proxy's token
 // stream while keeping both a pure function of the configured seed.
 constexpr uint64_t kResilienceSeedSalt = 0x726573696c696e74ULL;
+
+// Serve-path mint entropy: a pure function of the session's own timeline —
+// the session id already folds in client IP, user agent and session start,
+// and the (time, request_count) pair distinguishes the requests within it.
+// Tokens minted from this are therefore identical across runs and across
+// worker interleavings, which is what makes the parallel simulation driver
+// bit-reproducible. `tag` separates the several tokens minted per page.
+uint64_t MintEntropy(const SessionState& session, TimeMs now, uint64_t tag) {
+  return HashCombine(
+      HashCombine(HashCombine(session.id(), static_cast<uint64_t>(now)),
+                  static_cast<uint64_t>(session.request_count())),
+      tag);
+}
 
 // Microsecond buckets 1us..8.2ms; rewrite and full-handle latencies land
 // mid-range, probe hits in the first buckets.
@@ -449,12 +463,21 @@ DegradationLevel ProxyServer::DecideDegradation(const FetchOutcome& fetch,
 }
 
 void ProxyServer::MaybeMaintainTables(TimeMs now) {
-  ++handled_;
-  if (config_.maintenance_stride == 0 || handled_ % config_.maintenance_stride != 0) {
+  const uint64_t n = handled_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.maintenance_stride == 0 || n % config_.maintenance_stride != 0) {
     return;
   }
-  const size_t expired = keys().ExpireOld(now);
-  const size_t closed = sessions_.CloseIdle(now);
+  if (config_.concurrent) {
+    // A sweep driven by this worker's clock could free session state another
+    // worker — on its own, possibly lagging, timeline — still references.
+    // Concurrent deployments rely on lazy per-entry expiry (KeyTable) and
+    // the capacity bounds instead.
+    return;
+  }
+  // One shard per run keeps the on-request reap cost O(shard), amortized
+  // across the stride.
+  const size_t expired = keys().ExpireOldIncremental(now);
+  const size_t closed = sessions_.CloseIdleIncremental(now);
   IncIfBound(m_.maintenance_runs);
   IncIfBound(m_.maintenance_keys, expired);
   IncIfBound(m_.maintenance_sessions, closed);
@@ -587,7 +610,8 @@ ProxyServer::Result ProxyServer::HandleInstrumented(const Request& request,
   // CAPTCHA endpoints.
   if (config_.enable_captcha) {
     if (path == prefix + "captcha.html") {
-      const std::string token = captcha_.IssueChallenge();
+      const std::string token =
+          captcha_.IssueChallenge(MintEntropy(session, request.time, 5));
       result.response = MakeHtmlResponse(
           captcha_.RenderChallenge(token, "http://" + config_.host + prefix));
       result.response.headers.Set("Cache-Control", "no-cache, no-store");
@@ -633,7 +657,8 @@ Response ProxyServer::InstrumentPage(const Request& request, SessionState& sessi
 
   std::string real_key;
   if (config_.enable_human_activity) {
-    const std::string script_token = minter_.Mint();
+    const std::string script_token =
+        minter_.MintFor(MintEntropy(session, request.time, 0));
     // We need the key before serving; derive the beacon once here (cheap)
     // and re-derive on script fetch.
     GeneratedBeacon beacon = BuildBeaconForToken(script_token, &real_key);
@@ -646,18 +671,22 @@ Response ProxyServer::InstrumentPage(const Request& request, SessionState& sessi
   // stays, the secondary rewrites are shed.
   if (!beacon_only) {
     if (config_.enable_ua_echo) {
-      const std::string ua_token = minter_.Mint();
+      const std::string ua_token =
+          minter_.MintFor(MintEntropy(session, request.time, 1));
       plan.ua_echo_script =
           GenerateUaEchoScript(config_.host, config_.instr_prefix, ua_token);
     }
     if (config_.enable_css_probe) {
-      plan.css_probe_url = AbsoluteInstrUrl("cp_" + minter_.Mint() + ".css");
+      plan.css_probe_url = AbsoluteInstrUrl(
+          "cp_" + minter_.MintFor(MintEntropy(session, request.time, 2)) + ".css");
     }
     if (config_.enable_audio_probe) {
-      plan.audio_probe_url = AbsoluteInstrUrl("ap_" + minter_.Mint() + ".wav");
+      plan.audio_probe_url = AbsoluteInstrUrl(
+          "ap_" + minter_.MintFor(MintEntropy(session, request.time, 3)) + ".wav");
     }
     if (config_.enable_hidden_link) {
-      plan.hidden_link_url = AbsoluteInstrUrl("hl_" + minter_.Mint() + ".html");
+      plan.hidden_link_url = AbsoluteInstrUrl(
+          "hl_" + minter_.MintFor(MintEntropy(session, request.time, 4)) + ".html");
       plan.transparent_image_url = AbsoluteInstrUrl("ti.jpg");
     }
   }

@@ -7,6 +7,7 @@
 #ifndef ROBODET_SRC_PROXY_PROXY_SERVER_H_
 #define ROBODET_SRC_PROXY_PROXY_SERVER_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -73,8 +74,18 @@ struct ProxyConfig {
   ResilienceConfig resilience;
 
   // Every N handled requests, expired beacon keys and idle sessions are
-  // reaped opportunistically on the request path (0 disables).
+  // reaped opportunistically on the request path (0 disables). Each run
+  // sweeps one table shard (round-robin), so the reap cost per request is
+  // bounded by shard size, not table size.
   size_t maintenance_stride = 1024;
+
+  // Multi-worker serving (bench/scale, the parallel Experiment driver):
+  // Handle becomes callable from several threads at once. Cross-timeline
+  // maintenance sweeps are skipped — one worker's clock says nothing about
+  // another worker's sessions, and a sweep could free session state a
+  // concurrent Handle still references — so tables rely on lazy per-entry
+  // expiry plus capacity bounds instead.
+  bool concurrent = false;
 
   // Observability. With metrics off, no registry is populated and the
   // ProxyStats compatibility view reads all-zero (only the overhead
@@ -245,7 +256,7 @@ class ProxyServer {
   CaptchaService captcha_;
   ResilientOrigin resilient_;
   AdmissionController admission_;
-  uint64_t handled_ = 0;  // Drives the maintenance stride.
+  std::atomic<uint64_t> handled_{0};  // Drives the maintenance stride.
   RobotJudge robot_judge_;
   CombinedClassifier default_classifier_;
   const AttestationAuthority* attestation_ = nullptr;  // Not owned.

@@ -115,19 +115,21 @@ void CircuitBreaker::Open(TimeMs now) {
 }
 
 AdmissionController::Decision AdmissionController::Admit(TimeMs now) {
-  if (budget_ == 0) {
+  const uint32_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget == 0) {
     return Decision::kAdmit;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   const TimeMs window = now - (now % kSecond);
   if (window != window_start_) {
     window_start_ = window;
     in_window_ = 0;
   }
   ++in_window_;
-  if (in_window_ > uint64_t{2} * budget_) {
+  if (in_window_ > uint64_t{2} * budget) {
     return Decision::kShedAll;
   }
-  if (in_window_ > budget_) {
+  if (in_window_ > budget) {
     return Decision::kShedRobots;
   }
   return Decision::kAdmit;
@@ -155,6 +157,7 @@ ResilientOrigin::ResilientOrigin(ResilienceConfig config, FallibleOriginHandler 
     : config_(config), origin_(std::move(origin)), rng_(seed) {}
 
 CircuitBreaker& ResilientOrigin::BreakerFor(const std::string& host) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = breakers_.find(host);
   if (it == breakers_.end()) {
     it = breakers_.emplace(host, CircuitBreaker(config_.breaker)).first;
@@ -233,17 +236,33 @@ FetchOutcome ResilientOrigin::Fetch(const Request& request) {
   FetchOutcome out;
   const TimeMs now = request.time;
   const std::string& host = request.url.host();
-  CircuitBreaker& breaker = BreakerFor(host);
-  auto reported = reported_.try_emplace(host, CircuitBreaker::State::kClosed).first;
-  const CircuitBreaker::State before = breaker.StateAt(now);
-  out.breaker = before;
-  RecordTransition(reported->second, before);  // open→half_open cooldown edge, if any.
-  reported->second = before;
 
-  bool full = before == CircuitBreaker::State::kClosed;
-  if (before == CircuitBreaker::State::kHalfOpen && breaker.TryAcquireProbe(now)) {
-    out.probe = true;
-    full = true;
+  // Pre-check under the lock: resolve breaker + reported slot (both stable
+  // pointers — node-based maps, never erased), take the governing state and
+  // probe budget. The origin attempts below run unlocked so concurrent
+  // fetches overlap their origin latency.
+  CircuitBreaker* breaker = nullptr;
+  CircuitBreaker::State* reported_slot = nullptr;
+  bool full = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = breakers_.find(host);
+    if (it == breakers_.end()) {
+      it = breakers_.emplace(host, CircuitBreaker(config_.breaker)).first;
+    }
+    breaker = &it->second;
+    reported_slot =
+        &reported_.try_emplace(host, CircuitBreaker::State::kClosed).first->second;
+    const CircuitBreaker::State before = breaker->StateAt(now);
+    out.breaker = before;
+    RecordTransition(*reported_slot, before);  // open→half_open cooldown edge, if any.
+    *reported_slot = before;
+
+    full = before == CircuitBreaker::State::kClosed;
+    if (before == CircuitBreaker::State::kHalfOpen && breaker->TryAcquireProbe(now)) {
+      out.probe = true;
+      full = true;
+    }
   }
   if (!full && !config_.fail_open) {
     out.rejected = true;
@@ -309,8 +328,13 @@ FetchOutcome ResilientOrigin::Fetch(const Request& request) {
       backoff *= config_.backoff_multiplier;
     }
     backoff = std::min(backoff, static_cast<double>(config_.backoff_cap));
+    double draw;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      draw = rng_.UniformDouble();
+    }
     const double jitter =
-        1.0 - config_.backoff_jitter + 2.0 * config_.backoff_jitter * rng_.UniformDouble();
+        1.0 - config_.backoff_jitter + 2.0 * config_.backoff_jitter * draw;
     const TimeMs wait = static_cast<TimeMs>(backoff * jitter);
     if (spent + wait >= deadline) {
       break;  // No budget left to retry in.
@@ -322,22 +346,23 @@ FetchOutcome ResilientOrigin::Fetch(const Request& request) {
   // Feed the breaker: only fetches it governed with full trust (closed, or
   // a half-open probe) move the state machine; hard errors count, soft
   // (served pass-through) do not.
-  const bool counts = before == CircuitBreaker::State::kClosed || out.probe;
+  const bool counts = out.breaker == CircuitBreaker::State::kClosed || out.probe;
   if (counts) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (out.error.has_value() && hard_failure) {
-      breaker.RecordFailure(now, out.probe);
+      breaker->RecordFailure(now, out.probe);
       if (out.probe) {
         IncIfBound(m_.probes_fail);
       }
     } else if (!out.error.has_value()) {
-      breaker.RecordSuccess(now, out.probe);
+      breaker->RecordSuccess(now, out.probe);
       if (out.probe) {
         IncIfBound(m_.probes_ok);
       }
     }
-    const CircuitBreaker::State after = breaker.StateAt(now);
-    RecordTransition(reported->second, after);
-    reported->second = after;
+    const CircuitBreaker::State after = breaker->StateAt(now);
+    RecordTransition(*reported_slot, after);
+    *reported_slot = after;
   }
 
   if (m_.latency_ms != nullptr) {

@@ -12,7 +12,9 @@
 #ifndef ROBODET_SRC_PROXY_RESILIENCE_H_
 #define ROBODET_SRC_PROXY_RESILIENCE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -101,7 +103,8 @@ std::string_view BreakerStateName(CircuitBreaker::State state);
 // Overload shedding (§3.2 policy interaction): when the proxy takes more
 // than `budget_rps` requests in one simulated second, robot-classified
 // sessions are shed first; above twice the budget everything is shed. A
-// budget of 0 disables admission control.
+// budget of 0 disables admission control. Thread-safe: the tumbling window
+// is mutex-guarded (only touched when a budget is set).
 class AdmissionController {
  public:
   enum class Decision { kAdmit, kShedRobots, kShedAll };
@@ -111,13 +114,14 @@ class AdmissionController {
   // Counts one arriving request and decides. One-second tumbling window.
   Decision Admit(TimeMs now);
 
-  void set_budget(uint32_t budget_rps) { budget_ = budget_rps; }
-  uint32_t budget() const { return budget_; }
+  void set_budget(uint32_t budget_rps) { budget_.store(budget_rps, std::memory_order_relaxed); }
+  uint32_t budget() const { return budget_.load(std::memory_order_relaxed); }
 
  private:
-  uint32_t budget_;
-  TimeMs window_start_ = -1;
-  uint64_t in_window_ = 0;
+  std::atomic<uint32_t> budget_;
+  std::mutex mu_;
+  TimeMs window_start_ = -1;   // Guarded by mu_.
+  uint64_t in_window_ = 0;     // Guarded by mu_.
 };
 
 struct ResilienceConfig {
@@ -172,13 +176,20 @@ struct FetchOutcome {
 // The resilient origin pipeline: deadline + retry/backoff + breaker.
 // Deterministic given (seed, request stream): jitter comes from an owned
 // Rng, time from the requests themselves.
+//
+// Thread-safe: breaker/rng state is mutex-guarded, but the mutex is NOT
+// held across the origin call itself, so concurrent fetches overlap their
+// origin latency. Breaker references remain valid across rehashes
+// (node-based map, never erased).
 class ResilientOrigin {
  public:
   ResilientOrigin(ResilienceConfig config, FallibleOriginHandler origin, uint64_t seed);
 
   FetchOutcome Fetch(const Request& request);
 
-  // The breaker guarding `host`, created closed on first use.
+  // The breaker guarding `host`, created closed on first use. The returned
+  // reference is stable, but mutating it while workers serve is racy —
+  // operator use (ForceOpen/Reset) is expected at quiescent points.
   CircuitBreaker& BreakerFor(const std::string& host);
 
   // robodet_origin_* and robodet_breaker_* metrics; nullptr unbinds.
@@ -207,10 +218,11 @@ class ResilientOrigin {
 
   ResilienceConfig config_;
   FallibleOriginHandler origin_;
-  Rng rng_;
-  std::unordered_map<std::string, CircuitBreaker> breakers_;
+  std::mutex mu_;
+  Rng rng_;  // Guarded by mu_.
+  std::unordered_map<std::string, CircuitBreaker> breakers_;  // Guarded by mu_.
   // Last state reported to metrics per host, to turn state reads into
-  // transition edges.
+  // transition edges. Guarded by mu_.
   std::unordered_map<std::string, CircuitBreaker::State> reported_;
   Metrics m_;
 };

@@ -1,8 +1,33 @@
 #include "src/proxy/session_table.h"
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "src/util/hash.h"
+
 namespace robodet {
+namespace {
+
+// Deterministic session identity: a pure function of the session key and
+// the session's own start time. Two runs that touch the same key at the
+// same simulated instant mint the same id regardless of global interleaving
+// — the invariant the parallel experiment driver relies on. Forced nonzero
+// so 0 can keep meaning "no session".
+uint64_t SessionIdFor(const SessionKey& key, TimeMs start) {
+  const uint64_t id = Mix64(HashCombine(SessionKeyHash{}(key), static_cast<uint64_t>(start)));
+  return id == 0 ? 1 : id;
+}
+
+}  // namespace
+
+SessionTable::SessionTable(Config config) : config_(config) {
+  config_.num_shards = std::max<size_t>(1, config_.num_shards);
+  shards_.reserve(config_.num_shards);
+  for (size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
 
 void SessionTable::BindMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
@@ -21,39 +46,18 @@ void SessionTable::BindMetrics(MetricsRegistry* registry) {
   metrics_.active = registry->FindOrCreateGauge("robodet_sessions_active");
 }
 
+SessionTable::Shard& SessionTable::ShardFor(const SessionKey& key) {
+  return *shards_[Mix64(key.ip.value()) % shards_.size()];
+}
+
 void SessionTable::UpdateActiveGauge() {
   if (metrics_.active != nullptr) {
-    metrics_.active->Set(static_cast<int64_t>(sessions_.size()));
+    metrics_.active->Set(static_cast<int64_t>(active_count()));
   }
 }
 
-SessionState* SessionTable::Touch(const SessionKey& key, TimeMs now) {
-  auto it = sessions_.find(key);
-  if (it != sessions_.end()) {
-    SessionState* session = it->second.get();
-    if (now - session->last_request_time() <= config_.idle_timeout) {
-      return session;
-    }
-    // Idle too long: close the old session and fall through to create a
-    // fresh one for the same key.
-    Close(it, metrics_.closed_split);
-  }
-  if (sessions_.size() >= config_.max_active_sessions) {
-    EvictStalest();
-  }
-  auto fresh = std::make_unique<SessionState>(next_id_++, key, now);
-  SessionState* raw = fresh.get();
-  sessions_.emplace(key, std::move(fresh));
-  IncIfBound(metrics_.opened);
-  UpdateActiveGauge();
-  return raw;
-}
-
-void SessionTable::Close(
-    std::unordered_map<SessionKey, std::unique_ptr<SessionState>, SessionKeyHash>::iterator it,
-    Counter* reason) {
-  std::unique_ptr<SessionState> closed = std::move(it->second);
-  sessions_.erase(it);
+void SessionTable::FinishClose(std::unique_ptr<SessionState> closed, Counter* reason) {
+  active_.fetch_sub(1, std::memory_order_relaxed);
   IncIfBound(reason);
   UpdateActiveGauge();
   if (on_closed_) {
@@ -61,42 +65,121 @@ void SessionTable::Close(
   }
 }
 
-size_t SessionTable::CloseIdle(TimeMs now) {
-  std::vector<SessionKey> stale;
-  for (const auto& [key, session] : sessions_) {
-    if (now - session->last_request_time() > config_.idle_timeout) {
-      stale.push_back(key);
+SessionState* SessionTable::Touch(const SessionKey& key, TimeMs now) {
+  Shard& shard = ShardFor(key);
+  std::unique_ptr<SessionState> split;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.sessions.find(key);
+    if (it != shard.sessions.end()) {
+      SessionState* session = it->second.get();
+      if (now - session->last_request_time() <= config_.idle_timeout) {
+        return session;
+      }
+      // Idle too long: close the old session and fall through to create a
+      // fresh one for the same key.
+      split = std::move(it->second);
+      shard.sessions.erase(it);
     }
   }
-  for (const SessionKey& key : stale) {
-    Close(sessions_.find(key), metrics_.closed_idle);
+  if (split != nullptr) {
+    FinishClose(std::move(split), metrics_.closed_split);
   }
-  return stale.size();
+  if (active_count() >= config_.max_active_sessions) {
+    EvictStalest();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& slot = shard.sessions[key];
+    if (slot != nullptr) {
+      // Another worker created it between our two critical sections.
+      return slot.get();
+    }
+    slot = std::make_unique<SessionState>(SessionIdFor(key, now), key, now);
+    SessionState* raw = slot.get();
+    active_.fetch_add(1, std::memory_order_relaxed);
+    created_.fetch_add(1, std::memory_order_relaxed);
+    IncIfBound(metrics_.opened);
+    UpdateActiveGauge();
+    return raw;
+  }
+}
+
+size_t SessionTable::DrainShard(Shard& shard, TimeMs now, bool idle_only, Counter* reason) {
+  std::vector<std::unique_ptr<SessionState>> drained;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
+      if (!idle_only || now - it->second->last_request_time() > config_.idle_timeout) {
+        drained.push_back(std::move(it->second));
+        it = shard.sessions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Callbacks run outside the lock: the callback must not observe a
+  // mutating map, and it may re-enter the table.
+  for (auto& session : drained) {
+    FinishClose(std::move(session), reason);
+  }
+  return drained.size();
+}
+
+size_t SessionTable::CloseIdle(TimeMs now) {
+  size_t closed = 0;
+  for (auto& shard : shards_) {
+    closed += DrainShard(*shard, now, /*idle_only=*/true, metrics_.closed_idle);
+  }
+  return closed;
+}
+
+size_t SessionTable::CloseIdleIncremental(TimeMs now) {
+  const size_t idx = sweep_cursor_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  return DrainShard(*shards_[idx], now, /*idle_only=*/true, metrics_.closed_idle);
 }
 
 void SessionTable::CloseAll() {
-  // Drain via a temporary list: the callback must not observe a mutating map.
-  std::vector<SessionKey> keys;
-  keys.reserve(sessions_.size());
-  for (const auto& [key, session] : sessions_) {
-    keys.push_back(key);
-  }
-  for (const SessionKey& key : keys) {
-    Close(sessions_.find(key), metrics_.closed_shutdown);
+  for (auto& shard : shards_) {
+    DrainShard(*shard, /*now=*/0, /*idle_only=*/false, metrics_.closed_shutdown);
   }
 }
 
 void SessionTable::EvictStalest() {
-  if (sessions_.empty()) {
-    return;
-  }
-  auto stalest = sessions_.begin();
-  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
-    if (it->second->last_request_time() < stalest->second->last_request_time()) {
-      stalest = it;
+  // Phase 1: find the globally stalest session, locking one shard at a time.
+  bool found = false;
+  SessionKey stalest_key{};
+  TimeMs stalest_time = 0;
+  size_t stalest_shard = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    for (const auto& [key, session] : shards_[s]->sessions) {
+      if (!found || session->last_request_time() < stalest_time) {
+        found = true;
+        stalest_key = key;
+        stalest_time = session->last_request_time();
+        stalest_shard = s;
+      }
     }
   }
-  Close(stalest, metrics_.closed_evicted);
+  if (!found) {
+    return;
+  }
+  // Phase 2: re-acquire and close it if still present (a racing worker may
+  // have touched or closed it meanwhile; both outcomes are acceptable).
+  std::unique_ptr<SessionState> evicted;
+  {
+    Shard& shard = *shards_[stalest_shard];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.sessions.find(stalest_key);
+    if (it != shard.sessions.end()) {
+      evicted = std::move(it->second);
+      shard.sessions.erase(it);
+    }
+  }
+  if (evicted != nullptr) {
+    FinishClose(std::move(evicted), metrics_.closed_evicted);
+  }
 }
 
 }  // namespace robodet

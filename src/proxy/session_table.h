@@ -3,12 +3,23 @@
 // and starts a new one for the same key. Closed sessions are handed to a
 // callback rather than stored, so memory stays proportional to *active*
 // sessions regardless of experiment length.
+//
+// Lock-striped: sessions are sharded by client-IP hash, and every Touch
+// takes exactly one shard mutex. Session ids are derived from
+// hash(session key, first-request time) rather than a shared counter, so
+// a session's id is a pure function of its own client's timeline — the
+// property that lets the parallel simulation driver produce bit-identical
+// records to the serial one. The on_closed callback is always invoked
+// outside shard locks.
 #ifndef ROBODET_SRC_PROXY_SESSION_TABLE_H_
 #define ROBODET_SRC_PROXY_SESSION_TABLE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "src/obs/metrics.h"
 #include "src/proxy/session.h"
@@ -21,14 +32,19 @@ class SessionTable {
     TimeMs idle_timeout = kHour;
     // Hard cap on concurrently active sessions; beyond it, the stalest
     // session is force-closed (DoS guard — §4.2 notes memory pressure as a
-    // real concern for per-session state).
+    // real concern for per-session state). Note for multi-threaded use:
+    // eviction can close a session another worker still holds a pointer
+    // to, so the cap must comfortably exceed the worker×client fan-out.
     size_t max_active_sessions = 1 << 20;
+    // Lock stripes. More shards = less contention; must be ≥ 1.
+    size_t num_shards = 16;
   };
 
   using ClosedCallback = std::function<void(std::unique_ptr<SessionState>)>;
 
-  explicit SessionTable(Config config) : config_(config) {}
+  explicit SessionTable(Config config);
 
+  // Not thread-safe; wire before serving.
   void set_on_closed(ClosedCallback cb) { on_closed_ = std::move(cb); }
 
   // Finds the active session for `key`, splitting on idle timeout, or
@@ -40,11 +56,14 @@ class SessionTable {
   // Returns how many sessions were closed.
   size_t CloseIdle(TimeMs now);
 
+  // Incremental variant: sweeps a single shard (round-robin across calls).
+  size_t CloseIdleIncremental(TimeMs now);
+
   // Closes everything unconditionally.
   void CloseAll();
 
-  size_t active_count() const { return sessions_.size(); }
-  uint64_t total_created() const { return next_id_ - 1; }
+  size_t active_count() const { return active_.load(std::memory_order_relaxed); }
+  uint64_t total_created() const { return created_.load(std::memory_order_relaxed); }
 
   // Mirrors open/close/evict activity into `registry` under
   // robodet_sessions_*; closes are labeled by reason (split, idle,
@@ -52,11 +71,11 @@ class SessionTable {
   void BindMetrics(MetricsRegistry* registry);
 
  private:
-  void Close(std::unordered_map<SessionKey, std::unique_ptr<SessionState>,
-                                SessionKeyHash>::iterator it,
-             Counter* reason);
-  void EvictStalest();
-  void UpdateActiveGauge();
+  struct Shard {
+    std::mutex mu;
+    // Guarded by mu.
+    std::unordered_map<SessionKey, std::unique_ptr<SessionState>, SessionKeyHash> sessions;
+  };
 
   struct Metrics {
     Counter* opened = nullptr;
@@ -67,11 +86,22 @@ class SessionTable {
     Gauge* active = nullptr;
   };
 
+  Shard& ShardFor(const SessionKey& key);
+  // Scans every shard for the globally stalest session and closes it.
+  void EvictStalest();
+  // Closes all sessions in one shard matching `stale_before` (or all when
+  // stale_before is kNoCutoff); returns how many. Locks internally.
+  size_t DrainShard(Shard& shard, TimeMs now, bool idle_only, Counter* reason);
+  void FinishClose(std::unique_ptr<SessionState> closed, Counter* reason);
+  void UpdateActiveGauge();
+
   Config config_;
   Metrics metrics_;
   ClosedCallback on_closed_;
-  std::unordered_map<SessionKey, std::unique_ptr<SessionState>, SessionKeyHash> sessions_;
-  uint64_t next_id_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> active_{0};
+  std::atomic<uint64_t> created_{0};
+  std::atomic<size_t> sweep_cursor_{0};
 };
 
 }  // namespace robodet

@@ -30,6 +30,11 @@ std::string TokenMinter::Mint() {
   return random_part + ToHex(Mac(random_part), kMacHexChars);
 }
 
+std::string TokenMinter::MintFor(uint64_t entropy) const {
+  const std::string random_part = ToHex(Mix64(HashCombine(secret_, entropy)), kRandomHexChars);
+  return random_part + ToHex(Mac(random_part), kMacHexChars);
+}
+
 bool TokenMinter::Validate(std::string_view token) const {
   if (token.size() != kTokenChars) {
     return false;

@@ -24,6 +24,14 @@ class TokenMinter {
   // 24 lowercase hex chars: 16 random + 8 MAC.
   std::string Mint();
 
+  // Deterministic variant for the serve path: the "random" half is derived
+  // from `entropy` (keyed by the secret) instead of drawn from the shared
+  // rng. Worker threads therefore never contend on the rng, and a request
+  // with the same client timeline mints the same tokens in every run —
+  // the invariant behind the parallel simulation driver's bit-identical
+  // records. Tokens validate and seed exactly like Mint()ed ones.
+  std::string MintFor(uint64_t entropy) const;
+
   // True iff the token was minted with our secret (length, charset and MAC
   // all check out).
   bool Validate(std::string_view token) const;

@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,18 @@ struct ExperimentConfig {
   // Chaos schedule applied between the proxy and the origin. Disabled by
   // default (an all-zero plan injects nothing).
   FaultPlan faults;
+
+  // Worker threads driving clients. 1 keeps the classic serial
+  // discrete-event loop. >1 fans clients across a pool: each client runs
+  // its whole timeline on one worker with a private clock, the proxy runs
+  // in concurrent mode, and records() is bit-identical to the serial run —
+  // every client's request times, session splits, minted tokens and
+  // beacon keys are pure functions of its own timeline, and the final
+  // record stream is canonically sorted in both modes. The identity holds
+  // as long as shared capacity limits never bite (key table global bound,
+  // session capacity), faults are off and admission control is disabled;
+  // those paths depend on cross-client interleaving by design.
+  size_t num_threads = 1;
 };
 
 class Experiment {
@@ -73,6 +86,11 @@ class Experiment {
   const std::map<std::string, TypeStats>& type_stats() const { return type_stats_; }
 
  private:
+  // Runs every client to completion on a pool of `threads` workers; clients
+  // are claimed via an atomic cursor and each runs on a private clock.
+  void RunClientsParallel(std::vector<std::unique_ptr<Client>>& clients,
+                          const std::vector<TimeMs>& arrivals, size_t threads);
+
   ExperimentConfig config_;
   SimClock clock_;
   SiteModel site_;
@@ -80,6 +98,13 @@ class Experiment {
   std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<ProxyServer> proxy_;
   std::vector<SessionRecord> records_;
+  // Session-close callbacks fire on worker threads in parallel runs.
+  std::mutex records_mu_;
+  // The origin + fault injector are single-threaded machines; parallel
+  // runs serialize calls into them (their simulated latency costs no wall
+  // time, so this does not limit scaling — see bench/scale.cc for the
+  // regime where origin waits are real).
+  std::mutex origin_mu_;
   std::map<std::string, TypeStats> type_stats_;
   // Ground truth: client identity by IP.
   std::map<uint32_t, std::pair<std::string, bool>> identity_by_ip_;

@@ -25,6 +25,16 @@ constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
 }
 
+// SplitMix64 finalizer: disperses all input bits into all output bits.
+// Used to pick lock-stripe shards from client IPs and to derive per-request
+// token entropy (sequential IPs/timestamps must not cluster).
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace robodet
 
 #endif  // ROBODET_SRC_UTIL_HASH_H_

@@ -15,6 +15,17 @@ std::string AsciiLower(std::string_view s) {
   return out;
 }
 
+void AppendAsciiLower(std::string& out, std::string_view s) {
+  const size_t base = out.size();
+  out.append(s);
+  for (size_t i = base; i < out.size(); ++i) {
+    char& c = out[i];
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+  }
+}
+
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) {
     return false;
@@ -104,19 +115,26 @@ bool ContainsIgnoreCase(std::string_view s, std::string_view needle) {
 }
 
 std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to) {
-  if (from.empty()) {
-    return std::string(s);
-  }
   std::string out;
+  AppendReplaceAll(out, s, from, to);
+  return out;
+}
+
+void AppendReplaceAll(std::string& out, std::string_view s, std::string_view from,
+                      std::string_view to) {
+  if (from.empty()) {
+    out.append(s);
+    return;
+  }
   size_t pos = 0;
   for (;;) {
     const size_t hit = s.find(from, pos);
     if (hit == std::string_view::npos) {
-      out += s.substr(pos);
-      return out;
+      out.append(s.substr(pos));
+      return;
     }
-    out += s.substr(pos, hit - pos);
-    out += to;
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
     pos = hit + from.size();
   }
 }
@@ -124,6 +142,11 @@ std::string ReplaceAll(std::string_view s, std::string_view from, std::string_vi
 std::string JsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
+  AppendJsonEscape(out, s);
+  return out;
+}
+
+void AppendJsonEscape(std::string& out, std::string_view s) {
   for (const char c : s) {
     switch (c) {
       case '"':
@@ -151,7 +174,6 @@ std::string JsonEscape(std::string_view s) {
         }
     }
   }
-  return out;
 }
 
 }  // namespace robodet

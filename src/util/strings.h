@@ -13,6 +13,10 @@ namespace robodet {
 // ASCII-only lowercase copy (HTTP header/token semantics; no locale).
 std::string AsciiLower(std::string_view s);
 
+// Append-style variant: lowercases `s` onto the end of `out` without an
+// intermediate temporary. Hot-path building block for the HTML rewriter.
+void AppendAsciiLower(std::string& out, std::string_view s);
+
 // Case-insensitive ASCII equality.
 bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 
@@ -34,9 +38,17 @@ bool ContainsIgnoreCase(std::string_view s, std::string_view needle);
 // Replaces every occurrence of `from` (non-empty) with `to`.
 std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
 
+// Append-style variant of ReplaceAll; with an empty `from`, appends `s`
+// unchanged.
+void AppendReplaceAll(std::string& out, std::string_view s, std::string_view from,
+                      std::string_view to);
+
 // Escapes `s` for use inside a double-quoted JSON string (quotes,
 // backslashes, control characters). Does not add the surrounding quotes.
 std::string JsonEscape(std::string_view s);
+
+// Append-style variant of JsonEscape.
+void AppendJsonEscape(std::string& out, std::string_view s);
 
 }  // namespace robodet
 

@@ -1,0 +1,178 @@
+// Collects `key=value` lines emitted by the perf bench binaries
+// (bench/rewrite_throughput, bench/scale) into one flat JSON object, and
+// checks a fresh run against a committed baseline.
+//
+//   bench_to_json --out BENCH_proxy.json run1.txt run2.txt ...
+//   bench_to_json --check BENCH_proxy.json fresh.json [--tolerance 0.15]
+//
+// Collect mode: every `key=value` line with a numeric value is kept (later
+// files win on duplicate keys); everything else is ignored, so bench output
+// can stay human-readable.
+//
+// Check mode: only keys prefixed `gate_` are compared — those are
+// dimensionless ratios (speedups, scaling factors), meaningful across
+// machines, unlike raw MB/s or req/s. Higher is better; the check fails if
+// any gate in `fresh` is below baseline * (1 - tolerance), or missing.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Reads key=value pairs from bench output or from the flat JSON this tool
+// itself writes (the JSON is line-per-entry, so one tolerant reader covers
+// both: strip quotes/commas/braces, split on '=' or ':').
+std::map<std::string, double> ReadPairs(const std::string& path, bool* ok) {
+  std::map<std::string, double> out;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_to_json: cannot open %s\n", path.c_str());
+    *ok = false;
+    return out;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string cleaned;
+    cleaned.reserve(line.size());
+    for (char c : line) {
+      if (c != '"' && c != ',' && c != '{' && c != '}' && c != ' ' && c != '\t') {
+        cleaned += c;
+      }
+    }
+    size_t sep = cleaned.find('=');
+    if (sep == std::string::npos) {
+      sep = cleaned.find(':');
+    }
+    if (sep == std::string::npos || sep == 0) {
+      continue;
+    }
+    double value = 0.0;
+    if (ParseNumber(cleaned.substr(sep + 1), &value)) {
+      out[cleaned.substr(0, sep)] = value;
+    }
+  }
+  *ok = true;
+  return out;
+}
+
+int Collect(const std::string& out_path, const std::vector<std::string>& inputs) {
+  std::map<std::string, double> merged;
+  for (const std::string& path : inputs) {
+    bool ok = false;
+    std::map<std::string, double> pairs = ReadPairs(path, &ok);
+    if (!ok) {
+      return 1;
+    }
+    for (const auto& [key, value] : pairs) {
+      merged[key] = value;
+    }
+  }
+  if (merged.empty()) {
+    std::fprintf(stderr, "bench_to_json: no key=value pairs found\n");
+    return 1;
+  }
+  std::ostringstream json;
+  json << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : merged) {
+    if (!first) {
+      json << ",\n";
+    }
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g", value);
+    json << "  \"" << key << "\": " << buf;
+  }
+  json << "\n}\n";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_to_json: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str();
+  std::printf("wrote %s (%zu keys)\n", out_path.c_str(), merged.size());
+  return 0;
+}
+
+int Check(const std::string& baseline_path, const std::string& fresh_path,
+          double tolerance) {
+  bool ok = false;
+  const std::map<std::string, double> baseline = ReadPairs(baseline_path, &ok);
+  if (!ok) {
+    return 1;
+  }
+  const std::map<std::string, double> fresh = ReadPairs(fresh_path, &ok);
+  if (!ok) {
+    return 1;
+  }
+  int failures = 0;
+  int gates = 0;
+  for (const auto& [key, base_value] : baseline) {
+    if (key.rfind("gate_", 0) != 0) {
+      continue;
+    }
+    ++gates;
+    const auto it = fresh.find(key);
+    if (it == fresh.end()) {
+      std::printf("FAIL %s: missing from %s\n", key.c_str(), fresh_path.c_str());
+      ++failures;
+      continue;
+    }
+    const double floor = base_value * (1.0 - tolerance);
+    if (it->second < floor) {
+      std::printf("FAIL %s: %.3f < %.3f (baseline %.3f - %.0f%%)\n", key.c_str(),
+                  it->second, floor, base_value, tolerance * 100.0);
+      ++failures;
+    } else {
+      std::printf("ok   %s: %.3f (baseline %.3f)\n", key.c_str(), it->second,
+                  base_value);
+    }
+  }
+  if (gates == 0) {
+    std::printf("FAIL: baseline %s has no gate_ keys\n", baseline_path.c_str());
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() >= 2 && args[0] == "--out") {
+    return Collect(args[1], {args.begin() + 2, args.end()});
+  }
+  if (args.size() >= 3 && args[0] == "--check") {
+    double tolerance = 0.15;
+    if (args.size() >= 5 && args[3] == "--tolerance") {
+      if (!ParseNumber(args[4], &tolerance)) {
+        std::fprintf(stderr, "bench_to_json: bad tolerance %s\n", args[4].c_str());
+        return 2;
+      }
+    }
+    return Check(args[1], args[2], tolerance);
+  }
+  std::fprintf(stderr,
+               "usage: bench_to_json --out OUT.json INPUT...\n"
+               "       bench_to_json --check BASELINE.json FRESH.json "
+               "[--tolerance 0.15]\n");
+  return 2;
+}
