@@ -28,6 +28,7 @@ std::optional<std::string_view> NextLine(std::string_view text, size_t& pos) {
 // Returns false (with error filled) on syntactically broken headers.
 bool ParseHeaderBlock(std::string_view text, size_t& pos, Headers* headers,
                       WireParseError* error) {
+  size_t count = 0;
   for (;;) {
     const size_t line_start = pos;
     const auto line = NextLine(text, pos);
@@ -38,6 +39,16 @@ bool ParseHeaderBlock(std::string_view text, size_t& pos, Headers* headers,
     }
     if (line->empty()) {
       return true;  // End of headers.
+    }
+    if (line->size() > kMaxWireLineBytes) {
+      error->message = "header line exceeds limit";
+      error->offset = line_start;
+      return false;
+    }
+    if (++count > kMaxWireHeaderCount) {
+      error->message = "too many header lines";
+      error->offset = line_start;
+      return false;
     }
     const size_t colon = line->find(':');
     if (colon == std::string_view::npos || colon == 0) {
@@ -68,6 +79,10 @@ WireResult<Request> ParseRequestText(std::string_view text) {
   const auto start_line = NextLine(text, pos);
   if (!start_line.has_value()) {
     result.error = {"missing request line", 0};
+    return result;
+  }
+  if (start_line->size() > kMaxWireLineBytes) {
+    result.error = {"request line exceeds limit", 0};
     return result;
   }
   const std::vector<std::string> parts = Split(*start_line, ' ');
@@ -120,6 +135,10 @@ WireResult<Request> ParseRequestText(std::string_view text) {
       body = body.substr(0, *n);
     }
   }
+  if (body.size() > kMaxWireBodyBytes) {
+    result.error = {"body exceeds limit", pos};
+    return result;
+  }
   request.body = std::string(body);
   result.value = std::move(request);
   return result;
@@ -131,6 +150,10 @@ WireResult<Response> ParseResponseText(std::string_view text) {
   const auto status_line = NextLine(text, pos);
   if (!status_line.has_value()) {
     result.error = {"missing status line", 0};
+    return result;
+  }
+  if (status_line->size() > kMaxWireLineBytes) {
+    result.error = {"status line exceeds limit", 0};
     return result;
   }
   const std::vector<std::string> parts = Split(*status_line, ' ');
@@ -159,6 +182,10 @@ WireResult<Response> ParseResponseText(std::string_view text) {
     if (const auto n = ParseU64(*cl); n.has_value() && *n <= body.size()) {
       body = body.substr(0, *n);
     }
+  }
+  if (body.size() > kMaxWireBodyBytes) {
+    result.error = {"body exceeds limit", pos};
+    return result;
   }
   response.body = std::string(body);
   result.value = std::move(response);

@@ -15,6 +15,14 @@
 
 namespace robodet {
 
+// Hard limits on hostile input. Anything over these is rejected with a
+// parse error, never partially swallowed: a proxy that buffers the whole
+// message before parsing needs the bound to exist *somewhere*, and the
+// parser is the last line of defense.
+inline constexpr size_t kMaxWireLineBytes = 16 * 1024;   // Start line or one header line.
+inline constexpr size_t kMaxWireHeaderCount = 256;       // Header lines per message.
+inline constexpr size_t kMaxWireBodyBytes = 16u << 20;   // Body after the blank line.
+
 struct WireParseError {
   std::string message;
   size_t offset = 0;  // Byte offset of the problem in the input.

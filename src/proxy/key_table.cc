@@ -74,6 +74,9 @@ void KeyTable::Record(IpAddress ip, const std::string& page_path, const std::str
   IncIfBound(metrics_.evicted, evicted_here);
   IncIfBound(metrics_.issued);
   UpdateEntriesGauge();
+  if (observer_ != nullptr) {
+    observer_->OnKeyIssued(ip, page_path, key, now);
+  }
 }
 
 bool KeyTable::MatchAndConsume(IpAddress ip, const std::string& key, TimeMs now) {
@@ -101,6 +104,11 @@ bool KeyTable::MatchAndConsume(IpAddress ip, const std::string& key, TimeMs now)
   if (found) {
     total_entries_.fetch_sub(1, std::memory_order_relaxed);
     UpdateEntriesGauge();
+  }
+  if (found && observer_ != nullptr) {
+    // Journaled for any consumption (matched or stale): the entry is gone
+    // from the table either way.
+    observer_->OnKeyConsumed(ip, key);
   }
   if (found && live) {
     matched_.fetch_add(1, std::memory_order_relaxed);
@@ -143,6 +151,92 @@ size_t KeyTable::ExpireOld(TimeMs now) {
   }
   UpdateEntriesGauge();
   return reaped;
+}
+
+std::vector<KeyTable::ExportedEntry> KeyTable::ExportShard(size_t shard_index) {
+  std::vector<ExportedEntry> out;
+  if (shard_index >= shards_.size()) {
+    return out;
+  }
+  Shard& shard = *shards_[shard_index];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [ip, entries] : shard.by_ip) {
+      for (const Entry& e : entries) {
+        out.push_back(ExportedEntry{ip, e.page_path, e.key, e.issued_at});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ExportedEntry& a, const ExportedEntry& b) {
+    if (a.ip != b.ip) {
+      return a.ip < b.ip;
+    }
+    if (a.issued_at != b.issued_at) {
+      return a.issued_at < b.issued_at;
+    }
+    return a.key < b.key;
+  });
+  return out;
+}
+
+void KeyTable::RestoreEntry(IpAddress ip, const std::string& page_path, const std::string& key,
+                            TimeMs issued_at) {
+  if (total_entries() >= config_.max_total_entries) {
+    return;
+  }
+  Shard& shard = ShardFor(ip);
+  size_t evicted_here = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::deque<Entry>& entries = shard.by_ip[ip.value()];
+    while (entries.size() >= config_.max_entries_per_ip) {
+      entries.pop_front();
+      ++evicted_here;
+    }
+    entries.push_back(Entry{page_path, key, issued_at});
+  }
+  total_entries_.fetch_sub(evicted_here, std::memory_order_relaxed);
+  total_entries_.fetch_add(1, std::memory_order_relaxed);
+  UpdateEntriesGauge();
+}
+
+void KeyTable::RemoveEntry(IpAddress ip, const std::string& key) {
+  Shard& shard = ShardFor(ip);
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.by_ip.find(ip.value());
+    if (it != shard.by_ip.end()) {
+      std::deque<Entry>& entries = it->second;
+      for (auto e = entries.begin(); e != entries.end(); ++e) {
+        if (e->key == key) {
+          found = true;
+          entries.erase(e);
+          if (entries.empty()) {
+            shard.by_ip.erase(it);
+          }
+          break;
+        }
+      }
+    }
+  }
+  if (found) {
+    total_entries_.fetch_sub(1, std::memory_order_relaxed);
+    UpdateEntriesGauge();
+  }
+}
+
+void KeyTable::Clear() {
+  size_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [ip, entries] : shard->by_ip) {
+      dropped += entries.size();
+    }
+    shard->by_ip.clear();
+  }
+  total_entries_.fetch_sub(dropped, std::memory_order_relaxed);
+  UpdateEntriesGauge();
 }
 
 size_t KeyTable::ExpireOldIncremental(TimeMs now) {

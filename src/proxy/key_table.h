@@ -27,6 +27,26 @@ namespace robodet {
 
 class KeyTable {
  public:
+  // Mutation observer, used by the persistence layer to journal key
+  // lifecycle events. Callbacks fire outside shard locks, on the thread
+  // that performed the mutation.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual void OnKeyIssued(IpAddress ip, const std::string& page_path, const std::string& key,
+                             TimeMs issued_at) = 0;
+    // Fired only for successful matches (the entry left the table).
+    virtual void OnKeyConsumed(IpAddress ip, const std::string& key) = 0;
+  };
+
+  // A table entry exported for serialization.
+  struct ExportedEntry {
+    uint32_t ip = 0;
+    std::string page_path;
+    std::string key;
+    TimeMs issued_at = 0;
+  };
+
   struct Config {
     // The table "holds multiple entries per IP address" — bounded here so a
     // crawler pulling thousands of pages cannot balloon server memory.
@@ -59,6 +79,29 @@ class KeyTable {
   // Mirrors the table's counters into `registry` under
   // robodet_key_table_*; call once at wiring time.
   void BindMetrics(MetricsRegistry* registry);
+
+  // Not thread-safe; wire before serving. Pass nullptr to detach.
+  void set_observer(Observer* observer) { observer_ = observer; }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  // Copies one shard's entries (sorted by ip, then issued_at, then key, so
+  // the export is deterministic regardless of hash-map iteration order).
+  // Takes only that shard's lock.
+  std::vector<ExportedEntry> ExportShard(size_t shard_index);
+
+  // Recovery-only: inserts an entry without firing the observer or the
+  // issued counter (the entry was counted in a previous life). Per-IP and
+  // total bounds still apply.
+  void RestoreEntry(IpAddress ip, const std::string& page_path, const std::string& key,
+                    TimeMs issued_at);
+
+  // Recovery-only: removes the first entry matching (ip, key) without
+  // counters or observer. Used to replay a journaled consumption.
+  void RemoveEntry(IpAddress ip, const std::string& key);
+
+  // Drops every entry without counters or observer (simulated crash).
+  void Clear();
 
   size_t total_entries() const { return total_entries_.load(std::memory_order_relaxed); }
   uint64_t issued() const { return issued_.load(std::memory_order_relaxed); }
@@ -94,6 +137,7 @@ class KeyTable {
 
   Config config_;
   Metrics metrics_;
+  Observer* observer_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<size_t> total_entries_{0};
   std::atomic<uint64_t> issued_{0};

@@ -1,0 +1,182 @@
+// On-disk formats for the proxy's detection state: a versioned,
+// checksummed snapshot of the key and session tables, and an append-only
+// journal of state mutations between snapshots.
+//
+// Both files are parsed as untrusted input: every section and journal
+// record carries a CRC32C, every length prefix is validated against a hard
+// cap before allocation, and a torn or corrupt tail degrades to "keep the
+// valid prefix" rather than an error. Decoders never throw and never read
+// out of bounds (all access goes through ByteReader).
+//
+// Snapshot layout (little-endian throughout):
+//   magic[8] "RDSNAP1\0" | version u32 | epoch u64 | created_at i64
+//   | key_sections u32 | session_sections u32
+//   | sections...                each: payload_len u32 | payload | crc u32
+// Key-section payload:     entry_count u32 | KeyEntry...
+// Session-section payload: entry_count u32 | Session...
+//
+// Journal layout:
+//   magic[8] "RDJRNL1\0" | version u32 | epoch u64
+//   | records...                 each: frame_len u32 | frame | crc u32
+//   frame: type u8 | payload
+//
+// A journal belongs to the snapshot with the same epoch; an epoch mismatch
+// means the journal predates (or outlives) the snapshot and is ignored —
+// its effects are already folded in, or it describes a different life.
+#ifndef ROBODET_SRC_PROXY_PERSISTENCE_FORMAT_H_
+#define ROBODET_SRC_PROXY_PERSISTENCE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/signals.h"
+#include "src/util/binio.h"
+#include "src/util/clock.h"
+
+namespace robodet::persistence {
+
+inline constexpr std::string_view kSnapshotMagic{"RDSNAP1\0", 8};
+inline constexpr std::string_view kJournalMagic{"RDJRNL1\0", 8};
+inline constexpr uint32_t kFormatVersion = 1;
+
+// Hard limits enforced before any allocation; input exceeding them is
+// hostile (or corrupt), not merely large.
+inline constexpr size_t kMaxStateFileBytes = 256u << 20;  // whole-file read cap
+inline constexpr size_t kMaxSectionBytes = 16u << 20;     // one shard's payload
+inline constexpr size_t kMaxSections = 4096;              // shards per table
+inline constexpr size_t kMaxEntriesPerSection = 1u << 20;
+inline constexpr size_t kMaxFrameBytes = 1u << 20;        // one journal record
+inline constexpr size_t kMaxStringBytes = 4096;
+inline constexpr size_t kMaxEventsPerSession = 4096;
+inline constexpr size_t kMaxUrlHashesPerSession = 1u << 16;
+inline constexpr size_t kMaxPageIndicesPerSession = 4096;
+
+enum class JournalRecordType : uint8_t {
+  kKeyIssued = 1,
+  kKeyConsumed = 2,
+  kSessionUpdate = 3,
+  kSessionClosed = 4,
+};
+
+// One beacon-key table entry.
+struct KeyEntryImage {
+  uint32_t ip = 0;
+  std::string page_path;
+  std::string key;
+  TimeMs issued_at = 0;
+};
+
+// A full serialized session.
+struct SessionImage {
+  uint64_t id = 0;
+  uint32_t ip = 0;
+  std::string user_agent;
+  TimeMs first_request = 0;
+  TimeMs last_request = 0;
+  SessionSignals signals;
+  int32_t request_count = 0;
+  int32_t instrumented_pages = 0;
+  bool blocked = false;
+  int32_t cgi_requests = 0;
+  int32_t get_requests = 0;
+  int32_t error_responses = 0;
+  std::vector<int32_t> instrumented_page_indices;
+  std::vector<RequestEvent> events;
+  std::vector<uint64_t> served_links;
+  std::vector<uint64_t> served_embeds;
+  std::vector<uint64_t> visited_urls;
+};
+
+// One journaled session mutation. Scalars (including signals) are the full
+// current values — replay overwrites, so applying the same record twice is
+// a no-op. The vectors in `delta` hold only the items appended since the
+// previous update; each `*_before` is the vector's size before the append,
+// so replay applies a suffix exactly once no matter how the journal
+// overlaps the snapshot.
+struct SessionUpdateImage {
+  SessionImage delta;
+  uint32_t page_indices_before = 0;
+  uint32_t events_before = 0;
+  uint32_t links_before = 0;
+  uint32_t embeds_before = 0;
+  uint32_t visited_before = 0;
+};
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kKeyIssued;
+  KeyEntryImage key;          // kKeyIssued (all fields) / kKeyConsumed (ip+key)
+  SessionUpdateImage update;  // kSessionUpdate
+  uint64_t session_id = 0;    // kSessionClosed
+};
+
+// --- Entry codecs -----------------------------------------------------
+
+void EncodeKeyEntry(const KeyEntryImage& e, ByteWriter* w);
+bool DecodeKeyEntry(ByteReader* r, KeyEntryImage* e);
+
+void EncodeSession(const SessionImage& s, ByteWriter* w);
+bool DecodeSession(ByteReader* r, SessionImage* s);
+
+void EncodeSessionUpdate(const SessionUpdateImage& u, ByteWriter* w);
+bool DecodeSessionUpdate(ByteReader* r, SessionUpdateImage* u);
+
+// --- Snapshot ---------------------------------------------------------
+
+// Builds a snapshot file incrementally, one section per table shard (key
+// sections first, then session sections, as declared in the constructor).
+class SnapshotWriter {
+ public:
+  SnapshotWriter(uint64_t epoch, TimeMs created_at, uint32_t key_sections,
+                 uint32_t session_sections);
+
+  // Appends one framed section: payload_len | payload | crc.
+  void AddSection(std::string_view payload);
+
+  std::string Finish() { return out_.Take(); }
+
+ private:
+  ByteWriter out_;
+};
+
+struct SnapshotContents {
+  uint64_t epoch = 0;
+  TimeMs created_at = 0;
+  std::vector<KeyEntryImage> keys;
+  std::vector<SessionImage> sessions;
+  size_t sections_total = 0;
+  // Sections whose CRC or payload failed validation; their entries are
+  // dropped, the rest of the snapshot is salvaged.
+  size_t sections_dropped = 0;
+};
+
+// False when the header itself is invalid (wrong magic/version, truncated)
+// — the caller cold-starts. True otherwise, with per-section salvage
+// counted in `sections_dropped`.
+bool ReadSnapshot(std::string_view bytes, SnapshotContents* out);
+
+// --- Journal ----------------------------------------------------------
+
+std::string EncodeJournalHeader(uint64_t epoch);
+// Frames one record: frame_len | (type | payload) | crc.
+std::string EncodeJournalRecord(const JournalRecord& rec);
+
+struct JournalContents {
+  uint64_t epoch = 0;
+  std::vector<JournalRecord> records;
+  // Records whose frame was intact (CRC valid) but whose payload did not
+  // decode — skipped, parsing continues.
+  size_t records_dropped = 0;
+  // Bytes abandoned at the first torn/corrupt frame (framing can no longer
+  // be trusted past that point).
+  size_t bytes_dropped = 0;
+};
+
+// False when the header is invalid; true otherwise with the valid record
+// prefix in `records`.
+bool ReadJournal(std::string_view bytes, JournalContents* out);
+
+}  // namespace robodet::persistence
+
+#endif  // ROBODET_SRC_PROXY_PERSISTENCE_FORMAT_H_

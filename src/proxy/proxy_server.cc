@@ -89,7 +89,16 @@ ProxyServer::ProxyServer(ProxyConfig config, SimClock* clock, FallibleOriginHand
       admission_(config_.resilience.admission_rps),
       owned_registry_(std::make_unique<MetricsRegistry>()),
       registry_(owned_registry_.get()) {
+  if (config_.persistence.enabled()) {
+    state_store_ = std::make_unique<StateStore>(config_.persistence, &key_table_, &sessions_);
+    key_table_.set_observer(state_store_.get());
+    sessions_.set_close_observer(
+        [this](const SessionState& s) { state_store_->OnSessionClosed(s); });
+  }
   BindMetrics();
+  if (state_store_ != nullptr) {
+    state_store_->Recover(clock_ != nullptr ? clock_->Now() : 0);
+  }
 }
 
 ProxyServer::ProxyServer(ProxyConfig config, SimClock* clock, OriginHandler origin,
@@ -105,6 +114,9 @@ void ProxyServer::BindMetrics() {
     policy_.BindMetrics(nullptr);
     default_classifier_.BindMetrics(nullptr);
     resilient_.BindMetrics(nullptr);
+    if (state_store_ != nullptr) {
+      state_store_->BindMetrics(nullptr);
+    }
     return;
   }
   m_.requests = registry_->FindOrCreateCounter("robodet_requests_total");
@@ -141,6 +153,7 @@ void ProxyServer::BindMetrics() {
       registry_->FindOrCreateCounter("robodet_maintenance_keys_expired_total");
   m_.maintenance_sessions =
       registry_->FindOrCreateCounter("robodet_maintenance_sessions_closed_total");
+  m_.restarts = registry_->FindOrCreateCounter("robodet_node_restarts_total");
   m_.handle_us =
       registry_->FindOrCreateHistogram("robodet_handle_duration_us", LatencyBucketsUs());
   m_.rewrite_us =
@@ -150,6 +163,9 @@ void ProxyServer::BindMetrics() {
   policy_.BindMetrics(registry_);
   default_classifier_.BindMetrics(registry_);
   resilient_.BindMetrics(registry_);
+  if (state_store_ != nullptr) {
+    state_store_->BindMetrics(registry_);
+  }
 }
 
 void ProxyServer::UseSharedMetrics(MetricsRegistry* registry) {
@@ -317,6 +333,7 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
       RequestEvent shed_ev = BuildEvent(request, *session);
       shed_ev.status_class = 5;
       session->RecordRequest(now, shed_ev);
+      NoteSessionMutation(*session);
       if (trace != nullptr) {
         trace->SetOutcome(true, VerdictName(verdict), "admission");
       }
@@ -345,6 +362,7 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
       RequestEvent ev = BuildEvent(request, *session);
       ev.status_class = 4;
       session->RecordRequest(now, ev);
+      NoteSessionMutation(*session);
       // The blocked timeline ends at the policy decision; the bookkeeping
       // above is not worth a span.
       if (trace != nullptr) {
@@ -381,6 +399,7 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
       SpanScope span(trace, "session_update");
       session->RecordRequest(now, ev);
       session->visited_urls().Insert(request.url.ToString());
+      NoteSessionMutation(*session);
     }
     result.session_id = session->id();
     IncIfBound(m_.instr_bytes, result.response.WireSize());
@@ -431,6 +450,7 @@ ProxyServer::Result ProxyServer::Handle(const Request& request) {
     SpanScope span(trace, "session_update");
     session->RecordRequest(now, ev);
     session->visited_urls().Insert(request.url.ToString());
+    NoteSessionMutation(*session);
   }
 
   Result result;
@@ -460,6 +480,24 @@ DegradationLevel ProxyServer::DecideDegradation(const FetchOutcome& fetch,
     return DegradationLevel::kBeaconOnly;
   }
   return DegradationLevel::kFull;
+}
+
+void ProxyServer::NoteSessionMutation(SessionState& session) {
+  if (state_store_ != nullptr) {
+    state_store_->OnSessionUpdated(session);
+  }
+}
+
+void ProxyServer::SimulateCrashRestart(TimeMs now) {
+  // In-memory state vanishes the way a kill -9 loses it: no close
+  // callbacks, no records emitted, counters untouched.
+  sessions_.DropAll();
+  key_table_.Clear();
+  if (state_store_ != nullptr) {
+    state_store_->OnCrash();
+    state_store_->Recover(now);
+  }
+  IncIfBound(m_.restarts);
 }
 
 void ProxyServer::MaybeMaintainTables(TimeMs now) {

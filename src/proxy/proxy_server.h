@@ -22,6 +22,7 @@
 #include "src/obs/trace.h"
 #include "src/proxy/captcha.h"
 #include "src/proxy/key_table.h"
+#include "src/proxy/persistence/state_store.h"
 #include "src/proxy/policy.h"
 #include "src/proxy/resilience.h"
 #include "src/proxy/session_table.h"
@@ -72,6 +73,11 @@ struct ProxyConfig {
   // Fault tolerance for the origin path (deadline, retries, breaker,
   // degradation ladder, admission control). See src/proxy/resilience.h.
   ResilienceConfig resilience;
+
+  // Crash-safe state: with a state_dir set, the key and session tables are
+  // snapshotted + journaled there and recovered on construction (and after
+  // SimulateCrashRestart). See src/proxy/persistence/state_store.h.
+  PersistenceConfig persistence;
 
   // Every N handled requests, expired beacon keys and idle sessions are
   // reaped opportunistically on the request path (0 disables). Each run
@@ -173,6 +179,15 @@ class ProxyServer {
   // issued by any node validates on any other (see sim/cluster.h and the
   // ablation_cluster bench for why). The table must outlive this server.
   void UseSharedKeyTable(KeyTable* table) { shared_keys_ = table; }
+
+  // Simulated node crash + restart: drops all in-memory detection state
+  // (sessions vanish without close records, keys are forgotten) and, when
+  // persistence is configured, recovers from disk exactly as a restarted
+  // process would. Not safe concurrently with Handle.
+  void SimulateCrashRestart(TimeMs now);
+
+  // The persistence layer, or nullptr when no state_dir is configured.
+  StateStore* state_store() { return state_store_.get(); }
   // Compatibility view over the registry (see ProxyStats).
   ProxyStats stats() const;
   const ProxyConfig& config() const { return config_; }
@@ -213,6 +228,9 @@ class ProxyServer {
   void MaybeMaintainTables(TimeMs now);
   void RegisterServedContent(const Request& request, SessionState& session,
                              const std::string& html);
+  // Journals the session's state after a mutation (no-op without
+  // persistence).
+  void NoteSessionMutation(SessionState& session);
   RequestEvent BuildEvent(const Request& request, const SessionState& session) const;
   std::string AbsoluteInstrUrl(const std::string& stem_and_name) const;
   Verdict JudgeSession(const SessionState& session) const;
@@ -241,6 +259,7 @@ class ProxyServer {
     Counter* maintenance_runs = nullptr;
     Counter* maintenance_keys = nullptr;
     Counter* maintenance_sessions = nullptr;
+    Counter* restarts = nullptr;
     HistogramMetric* handle_us = nullptr;
     HistogramMetric* rewrite_us = nullptr;
   };
@@ -252,6 +271,7 @@ class ProxyServer {
   SessionTable sessions_;
   KeyTable key_table_;
   KeyTable* shared_keys_ = nullptr;  // Not owned; overrides key_table_.
+  std::unique_ptr<StateStore> state_store_;  // Null without a state_dir.
   PolicyEngine policy_;
   CaptchaService captcha_;
   ResilientOrigin resilient_;

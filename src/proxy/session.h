@@ -38,18 +38,27 @@ class UrlHashSet {
  public:
   explicit UrlHashSet(size_t capacity = 4096) : capacity_(capacity) {}
 
-  void Insert(std::string_view url) {
-    if (hashes_.size() < capacity_) {
-      hashes_.insert(Fnv1a(url));
+  void Insert(std::string_view url) { InsertHash(Fnv1a(url)); }
+
+  // Inserts a pre-computed hash; the persistence layer restores sets this
+  // way. Insertion order is kept so two tables restored from the same
+  // bytes serialize identically.
+  void InsertHash(uint64_t hash) {
+    if (hashes_.size() < capacity_ && hashes_.insert(hash).second) {
+      ordered_.push_back(hash);
     }
   }
 
   bool Contains(std::string_view url) const { return hashes_.contains(Fnv1a(url)); }
   size_t size() const { return hashes_.size(); }
 
+  // Hashes in insertion order (deterministic serialization order).
+  const std::vector<uint64_t>& ordered_hashes() const { return ordered_; }
+
  private:
   size_t capacity_;
   std::unordered_set<uint64_t> hashes_;
+  std::vector<uint64_t> ordered_;
 };
 
 class SessionState {
@@ -113,6 +122,25 @@ class SessionState {
   }
 
   static constexpr size_t kMaxTrackedEvents = 256;
+
+  // --- Recovery-only hooks --------------------------------------------
+  // Used by the persistence layer to rebuild a session from a decoded
+  // snapshot/journal image. Not for serving paths: they bypass the
+  // signal-marking logic that RecordRequest enforces.
+  void RestoreScalars(TimeMs last_request, int request_count, int instrumented_pages,
+                      bool blocked, int cgi_requests, int get_requests, int error_responses) {
+    last_request_ = last_request;
+    observation_.request_count = request_count;
+    observation_.instrumented_pages = instrumented_pages;
+    blocked_ = blocked;
+    cgi_requests_ = cgi_requests;
+    get_requests_ = get_requests;
+    error_responses_ = error_responses;
+  }
+  std::vector<RequestEvent>& mutable_events() { return events_; }
+  std::vector<int>& mutable_instrumented_page_indices() {
+    return observation_.instrumented_page_indices;
+  }
 
  private:
   uint64_t id_;

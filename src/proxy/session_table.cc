@@ -60,6 +60,9 @@ void SessionTable::FinishClose(std::unique_ptr<SessionState> closed, Counter* re
   active_.fetch_sub(1, std::memory_order_relaxed);
   IncIfBound(reason);
   UpdateActiveGauge();
+  if (close_observer_) {
+    close_observer_(*closed);
+  }
   if (on_closed_) {
     on_closed_(std::move(closed));
   }
@@ -143,6 +146,44 @@ void SessionTable::CloseAll() {
   for (auto& shard : shards_) {
     DrainShard(*shard, /*now=*/0, /*idle_only=*/false, metrics_.closed_shutdown);
   }
+}
+
+void SessionTable::ForEachSessionInShard(size_t shard_index,
+                                         const std::function<void(const SessionState&)>& fn) {
+  if (shard_index >= shards_.size()) {
+    return;
+  }
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (const auto& [key, session] : shard.sessions) {
+    fn(*session);
+  }
+}
+
+void SessionTable::Restore(std::unique_ptr<SessionState> session) {
+  Shard& shard = ShardFor(session->key());
+  bool replaced = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto& slot = shard.sessions[session->key()];
+    replaced = slot != nullptr;
+    slot = std::move(session);
+  }
+  if (!replaced) {
+    active_.fetch_add(1, std::memory_order_relaxed);
+  }
+  UpdateActiveGauge();
+}
+
+void SessionTable::DropAll() {
+  size_t dropped = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    dropped += shard->sessions.size();
+    shard->sessions.clear();
+  }
+  active_.fetch_sub(dropped, std::memory_order_relaxed);
+  UpdateActiveGauge();
 }
 
 void SessionTable::EvictStalest() {

@@ -41,11 +41,17 @@ class SessionTable {
   };
 
   using ClosedCallback = std::function<void(std::unique_ptr<SessionState>)>;
+  using CloseObserver = std::function<void(const SessionState&)>;
 
   explicit SessionTable(Config config);
 
   // Not thread-safe; wire before serving.
   void set_on_closed(ClosedCallback cb) { on_closed_ = std::move(cb); }
+
+  // Observer fired (outside shard locks) just before on_closed_ whenever a
+  // session leaves the table; the persistence layer journals the close so
+  // replay does not resurrect it. Not thread-safe; wire before serving.
+  void set_close_observer(CloseObserver cb) { close_observer_ = std::move(cb); }
 
   // Finds the active session for `key`, splitting on idle timeout, or
   // creates one. Never returns null; the pointer stays valid until the
@@ -69,6 +75,22 @@ class SessionTable {
   // robodet_sessions_*; closes are labeled by reason (split, idle,
   // evicted, shutdown). Call once at wiring time.
   void BindMetrics(MetricsRegistry* registry);
+
+  size_t num_shards() const { return shards_.size(); }
+
+  // Visits every session in one shard under that shard's lock; `fn` must
+  // not re-enter the table. Used by the persistence layer to snapshot one
+  // stripe at a time without stalling the others.
+  void ForEachSessionInShard(size_t shard_index, const std::function<void(const SessionState&)>& fn);
+
+  // Recovery-only: installs an already-populated session (keeps its id and
+  // timestamps). Replaces any existing session for the same key. Does not
+  // fire opened counters — the session was counted in a previous life.
+  void Restore(std::unique_ptr<SessionState> session);
+
+  // Drops every session without callbacks, counters, or records (simulated
+  // crash: in-flight state simply vanishes).
+  void DropAll();
 
  private:
   struct Shard {
@@ -98,6 +120,7 @@ class SessionTable {
   Config config_;
   Metrics metrics_;
   ClosedCallback on_closed_;
+  CloseObserver close_observer_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<size_t> active_{0};
   std::atomic<uint64_t> created_{0};

@@ -50,6 +50,8 @@
 #include "src/obs/trace.h"
 #include "src/proxy/captcha.h"
 #include "src/proxy/key_table.h"
+#include "src/proxy/persistence/format.h"
+#include "src/proxy/persistence/state_store.h"
 #include "src/proxy/policy.h"
 #include "src/proxy/proxy_server.h"
 #include "src/proxy/resilience.h"

@@ -47,6 +47,11 @@ struct ExperimentConfig {
   // Chaos schedule applied between the proxy and the origin. Disabled by
   // default (an all-zero plan injects nothing).
   FaultPlan faults;
+  // Seeded proxy crash/restart schedule: at each event the proxy loses its
+  // in-memory tables (recovering from disk when proxy.persistence is
+  // configured). Serial mode only — the parallel driver has no global
+  // timeline to order a crash against, so the plan is ignored there.
+  CrashPlan crashes;
 
   // Worker threads driving clients. 1 keeps the classic serial
   // discrete-event loop. >1 fans clients across a pool: each client runs
@@ -85,6 +90,9 @@ class Experiment {
   };
   const std::map<std::string, TypeStats>& type_stats() const { return type_stats_; }
 
+  // Crash events applied during Run (serial mode only).
+  uint64_t crashes_applied() const { return crashes_applied_; }
+
  private:
   // Runs every client to completion on a pool of `threads` workers; clients
   // are claimed via an atomic cursor and each runs on a private clock.
@@ -108,6 +116,7 @@ class Experiment {
   std::map<std::string, TypeStats> type_stats_;
   // Ground truth: client identity by IP.
   std::map<uint32_t, std::pair<std::string, bool>> identity_by_ip_;
+  uint64_t crashes_applied_ = 0;
   bool ran_ = false;
 };
 

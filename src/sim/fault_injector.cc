@@ -1,9 +1,35 @@
 #include "src/sim/fault_injector.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
+#include "src/util/hash.h"
+
 namespace robodet {
+
+std::vector<CrashEvent> GenerateCrashSchedule(const CrashPlan& plan, size_t nodes,
+                                              TimeMs horizon) {
+  std::vector<CrashEvent> events;
+  if (!plan.enabled() || nodes == 0 || horizon <= 0) {
+    return events;
+  }
+  const double mean_gap_ms = static_cast<double>(kHour) / plan.crash_rate_per_hour;
+  for (size_t n = 0; n < nodes; ++n) {
+    // Per-node streams: adding a node never perturbs the others' schedules.
+    Rng rng(Mix64(plan.seed ^ (0x9e3779b97f4a7c15ULL * (n + 1))));
+    double t = rng.Exponential(mean_gap_ms);
+    while (t < static_cast<double>(horizon)) {
+      events.push_back(CrashEvent{static_cast<TimeMs>(t), n});
+      // A node cannot crash again before it has restarted.
+      t += static_cast<double>(plan.restart_delay) + rng.Exponential(mean_gap_ms);
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const CrashEvent& a, const CrashEvent& b) {
+    return a.at != b.at ? a.at < b.at : a.node < b.node;
+  });
+  return events;
+}
 
 OriginResult FaultInjector::operator()(const Request& request) {
   ++counts_.total;

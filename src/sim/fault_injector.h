@@ -7,6 +7,7 @@
 #define ROBODET_SRC_SIM_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/http/origin_result.h"
 #include "src/util/clock.h"
@@ -36,6 +37,31 @@ struct FaultPlan {
     return error_rate > 0.0 || slow_rate > 0.0 || corrupt_rate > 0.0 || outage_start >= 0;
   }
 };
+
+// Seeded node-crash schedule: each node crashes with exponential
+// inter-arrival gaps (a Poisson process per node, the standard PlanetLab
+// restart model) and comes back restart_delay later. Same plan -> same
+// schedule, so chaos runs with and without persistence see identical
+// crashes.
+struct CrashPlan {
+  // Expected crashes per node per simulated hour. 0 disables.
+  double crash_rate_per_hour = 0.0;
+  // How long a crashed node stays unroutable before it restarts.
+  TimeMs restart_delay = 30 * kSecond;
+  uint64_t seed = 4242;
+
+  bool enabled() const { return crash_rate_per_hour > 0.0; }
+};
+
+struct CrashEvent {
+  TimeMs at = 0;
+  size_t node = 0;
+};
+
+// The crash times for `nodes` nodes over [0, horizon), sorted by time.
+// Pure function of (plan, nodes, horizon).
+std::vector<CrashEvent> GenerateCrashSchedule(const CrashPlan& plan, size_t nodes,
+                                              TimeMs horizon);
 
 class FaultInjector {
  public:

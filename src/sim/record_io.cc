@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -9,6 +10,13 @@
 
 namespace robodet {
 namespace {
+
+// Hard limits for the load path: CSV files come from outside the process
+// (operators move captures between machines), so the reader treats them as
+// untrusted and bounds every dimension an attacker could inflate.
+constexpr size_t kMaxCsvLineBytes = 64 * 1024;
+constexpr size_t kMaxCsvSessions = 4u << 20;
+constexpr size_t kMaxCsvEventsPerSession = 1u << 16;
 
 constexpr char kSessionsHeader[] =
     "session_id,client_type,truly_human,request_count,instrumented_pages,"
@@ -89,6 +97,9 @@ bool ReadRecordsCsv(const std::string& sessions_path, const std::string& events_
     if (line.empty()) {
       continue;
     }
+    if (line.size() > kMaxCsvLineBytes || out->size() >= kMaxCsvSessions) {
+      return false;
+    }
     const std::vector<std::string> f = Split(line, ',');
     if (f.size() != 19) {
       return false;
@@ -101,10 +112,12 @@ bool ReadRecordsCsv(const std::string& sessions_path, const std::string& events_
     r.session_id = *id;
     r.client_type = f[1];
     r.truly_human = f[2] == "1";
-    // Numeric columns 3..14 are non-negative ints.
+    // Numeric columns 3..15 are non-negative ints; reject values that would
+    // wrap on the narrowing cast.
     auto as_int = [&f](size_t i, int* v) {
       const auto parsed = ParseU64(f[i]);
-      if (!parsed.has_value()) {
+      if (!parsed.has_value() ||
+          *parsed > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
         return false;
       }
       *v = static_cast<int>(*parsed);
@@ -131,7 +144,9 @@ bool ReadRecordsCsv(const std::string& sessions_path, const std::string& events_
     s.ua_echo_agent = f[16];
     const auto first = ParseU64(f[17]);
     const auto last = ParseU64(f[18]);
-    if (!first.has_value() || !last.has_value()) {
+    constexpr uint64_t kMaxTime =
+        static_cast<uint64_t>(std::numeric_limits<TimeMs>::max());
+    if (!first.has_value() || !last.has_value() || *first > kMaxTime || *last > kMaxTime) {
       return false;
     }
     r.first_request = static_cast<TimeMs>(*first);
@@ -151,6 +166,9 @@ bool ReadRecordsCsv(const std::string& sessions_path, const std::string& events_
     if (line.empty()) {
       continue;
     }
+    if (line.size() > kMaxCsvLineBytes) {
+      return false;
+    }
     const std::vector<std::string> f = Split(line, ',');
     if (f.size() != 10) {
       return false;
@@ -163,9 +181,16 @@ bool ReadRecordsCsv(const std::string& sessions_path, const std::string& events_
     if (it == index_by_id.end()) {
       return false;  // Event for an unknown session.
     }
+    if ((*out)[it->second].events.size() >= kMaxCsvEventsPerSession) {
+      return false;
+    }
     const auto kind = ParseU64(f[2]);
     const auto status = ParseU64(f[3]);
-    if (!kind.has_value() || !status.has_value()) {
+    // The kind column indexes the ResourceKind enum; casting an arbitrary
+    // integer into the enum would hand out-of-range values to every switch
+    // downstream. Status classes are single digits (0 = unknown).
+    if (!kind.has_value() || *kind > static_cast<uint64_t>(ResourceKind::kOther) ||
+        !status.has_value() || *status > 9) {
       return false;
     }
     RequestEvent e;

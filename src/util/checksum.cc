@@ -1,0 +1,35 @@
+#include "src/util/checksum.h"
+
+#include <array>
+
+namespace robodet {
+namespace {
+
+// Reflected CRC32C polynomial (iSCSI / SSE4.2 crc32 instruction).
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<uint8_t>(c)) & 0xffu];
+  }
+  return ~crc;
+}
+
+}  // namespace robodet

@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli) checksums for the persistence layer. Every snapshot
+// section and journal record carries one so that recovery can tell a torn
+// or bit-rotted tail from valid state without trusting a single byte of
+// the input. Software table implementation: persistence is not a hot path
+// (one CRC per journal record), and a dependency-free routine keeps the
+// format verifiable anywhere.
+#ifndef ROBODET_SRC_UTIL_CHECKSUM_H_
+#define ROBODET_SRC_UTIL_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace robodet {
+
+// CRC32C over `data`, continuing from `seed` (pass a previous return value
+// to checksum discontiguous pieces as one stream). Seed 0 starts fresh.
+uint32_t Crc32c(std::string_view data, uint32_t seed = 0);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_UTIL_CHECKSUM_H_

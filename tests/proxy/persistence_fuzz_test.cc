@@ -1,0 +1,246 @@
+// Hostile-input hardening for the persistence load path. Snapshot and
+// journal files are read back after crashes — exactly when their bytes are
+// least trustworthy — so ReadSnapshot / ReadJournal must survive random
+// garbage, bit flips in valid files, and truncation at every offset
+// without crashing, and everything they accept must respect the format's
+// hard limits.
+#include <gtest/gtest.h>
+
+#include "src/proxy/persistence/format.h"
+#include "src/util/binio.h"
+#include "src/util/rng.h"
+
+namespace robodet {
+namespace {
+
+using persistence::JournalContents;
+using persistence::JournalRecord;
+using persistence::JournalRecordType;
+using persistence::KeyEntryImage;
+using persistence::SessionImage;
+using persistence::SnapshotContents;
+using persistence::SnapshotWriter;
+
+KeyEntryImage MakeKey(Rng& rng) {
+  KeyEntryImage e;
+  e.ip = static_cast<uint32_t>(rng.UniformU64(1u << 24));
+  e.page_path = "/p" + std::to_string(rng.UniformU64(100)) + ".html";
+  e.key = "k" + std::to_string(rng.UniformU64(1u << 30));
+  e.issued_at = static_cast<TimeMs>(rng.UniformU64(1u << 30));
+  return e;
+}
+
+SessionImage MakeSession(Rng& rng, uint64_t id) {
+  SessionImage s;
+  s.id = id;
+  s.ip = static_cast<uint32_t>(rng.UniformU64(1u << 24));
+  s.user_agent = "agent/" + std::to_string(rng.UniformU64(50));
+  s.first_request = static_cast<TimeMs>(rng.UniformU64(1u << 20));
+  s.last_request = s.first_request + static_cast<TimeMs>(rng.UniformU64(1u << 20));
+  s.signals.css_probe_at = static_cast<int>(rng.UniformU64(20));
+  s.signals.mouse_event_at = static_cast<int>(rng.UniformU64(20));
+  s.signals.ua_echo_agent = "echo-" + std::to_string(rng.UniformU64(10));
+  s.request_count = static_cast<int32_t>(rng.UniformU64(500));
+  s.instrumented_pages = static_cast<int32_t>(rng.UniformU64(30));
+  const size_t events = rng.UniformU64(6);
+  for (size_t i = 0; i < events; ++i) {
+    RequestEvent e;
+    e.kind = static_cast<ResourceKind>(
+        rng.UniformU64(static_cast<uint64_t>(ResourceKind::kOther) + 1));
+    e.status_class = static_cast<uint8_t>(2 + rng.UniformU64(4));
+    e.is_embedded = rng.Bernoulli(0.3);
+    s.events.push_back(e);
+  }
+  const size_t hashes = rng.UniformU64(8);
+  for (size_t i = 0; i < hashes; ++i) {
+    s.served_links.push_back(rng.UniformU64(UINT64_MAX));
+    s.visited_urls.push_back(rng.UniformU64(UINT64_MAX));
+  }
+  return s;
+}
+
+std::string MakeValidSnapshot(Rng& rng) {
+  SnapshotWriter writer(3, 1000, 2, 2);
+  for (int section = 0; section < 2; ++section) {
+    ByteWriter payload;
+    const size_t n = 1 + rng.UniformU64(4);
+    payload.PutU32(static_cast<uint32_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      EncodeKeyEntry(MakeKey(rng), &payload);
+    }
+    writer.AddSection(payload.Take());
+  }
+  for (int section = 0; section < 2; ++section) {
+    ByteWriter payload;
+    const size_t n = 1 + rng.UniformU64(3);
+    payload.PutU32(static_cast<uint32_t>(n));
+    for (size_t i = 0; i < n; ++i) {
+      EncodeSession(MakeSession(rng, 100 + rng.UniformU64(1000)), &payload);
+    }
+    writer.AddSection(payload.Take());
+  }
+  return writer.Finish();
+}
+
+std::string MakeValidJournal(Rng& rng) {
+  std::string bytes = persistence::EncodeJournalHeader(3);
+  const size_t n = 2 + rng.UniformU64(10);
+  for (size_t i = 0; i < n; ++i) {
+    JournalRecord rec;
+    switch (rng.UniformU64(4)) {
+      case 0:
+        rec.type = JournalRecordType::kKeyIssued;
+        rec.key = MakeKey(rng);
+        break;
+      case 1:
+        rec.type = JournalRecordType::kKeyConsumed;
+        rec.key = MakeKey(rng);
+        break;
+      case 2:
+        rec.type = JournalRecordType::kSessionUpdate;
+        rec.update.delta = MakeSession(rng, 100 + i);
+        rec.update.events_before = static_cast<uint32_t>(rng.UniformU64(4));
+        break;
+      default:
+        rec.type = JournalRecordType::kSessionClosed;
+        rec.session_id = 100 + rng.UniformU64(100);
+        break;
+    }
+    bytes += EncodeJournalRecord(rec);
+  }
+  return bytes;
+}
+
+// Everything an accepting parse hands back must already be clamped.
+void CheckSnapshotInvariants(const SnapshotContents& snap) {
+  EXPECT_LE(snap.keys.size(),
+            persistence::kMaxSections * persistence::kMaxEntriesPerSection);
+  for (const KeyEntryImage& k : snap.keys) {
+    EXPECT_LE(k.page_path.size(), persistence::kMaxStringBytes);
+    EXPECT_LE(k.key.size(), persistence::kMaxStringBytes);
+  }
+  for (const SessionImage& s : snap.sessions) {
+    EXPECT_LE(s.user_agent.size(), persistence::kMaxStringBytes);
+    EXPECT_LE(s.events.size(), persistence::kMaxEventsPerSession);
+    EXPECT_LE(s.served_links.size(), persistence::kMaxUrlHashesPerSession);
+    EXPECT_LE(s.served_embeds.size(), persistence::kMaxUrlHashesPerSession);
+    EXPECT_LE(s.visited_urls.size(), persistence::kMaxUrlHashesPerSession);
+    EXPECT_LE(s.instrumented_page_indices.size(), persistence::kMaxPageIndicesPerSession);
+    EXPECT_GE(s.request_count, 0);
+    for (const RequestEvent& e : s.events) {
+      EXPECT_LE(static_cast<uint64_t>(e.kind),
+                static_cast<uint64_t>(ResourceKind::kOther));
+    }
+  }
+}
+
+class PersistenceFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PersistenceFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 48; ++round) {
+    std::string bytes;
+    const size_t n = rng.UniformU64(4096);
+    bytes.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformU64(256)));
+    }
+    SnapshotContents snap;
+    if (ReadSnapshot(bytes, &snap)) {
+      CheckSnapshotInvariants(snap);
+    }
+    JournalContents jrnl;
+    (void)ReadJournal(bytes, &jrnl);
+  }
+}
+
+TEST_P(PersistenceFuzzTest, RandomBytesWithValidMagicNeverCrash) {
+  Rng rng(GetParam() ^ 0x3a61cULL);
+  for (int round = 0; round < 48; ++round) {
+    std::string bytes(rng.Bernoulli(0.5) ? persistence::kSnapshotMagic
+                                         : persistence::kJournalMagic);
+    const size_t n = rng.UniformU64(2048);
+    for (size_t i = 0; i < n; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformU64(256)));
+    }
+    SnapshotContents snap;
+    if (ReadSnapshot(bytes, &snap)) {
+      CheckSnapshotInvariants(snap);
+    }
+    JournalContents jrnl;
+    (void)ReadJournal(bytes, &jrnl);
+  }
+}
+
+TEST_P(PersistenceFuzzTest, MutatedValidFilesNeverCrash) {
+  Rng rng(GetParam() ^ 0xf1eaULL);
+  const std::string snapshot = MakeValidSnapshot(rng);
+  const std::string journal = MakeValidJournal(rng);
+  for (int round = 0; round < 48; ++round) {
+    std::string snap_bytes = snapshot;
+    std::string jrnl_bytes = journal;
+    const size_t flips = 1 + rng.UniformU64(8);
+    for (size_t i = 0; i < flips; ++i) {
+      snap_bytes[rng.UniformU64(snap_bytes.size())] = static_cast<char>(rng.UniformU64(256));
+      jrnl_bytes[rng.UniformU64(jrnl_bytes.size())] = static_cast<char>(rng.UniformU64(256));
+    }
+    SnapshotContents snap;
+    if (ReadSnapshot(snap_bytes, &snap)) {
+      CheckSnapshotInvariants(snap);
+    }
+    JournalContents jrnl;
+    (void)ReadJournal(jrnl_bytes, &jrnl);
+  }
+}
+
+TEST_P(PersistenceFuzzTest, EveryTruncationOffsetSurvives) {
+  Rng rng(GetParam() ^ 0xc07ULL);
+  const std::string snapshot = MakeValidSnapshot(rng);
+  const std::string journal = MakeValidJournal(rng);
+  for (size_t cut = 0; cut <= snapshot.size(); ++cut) {
+    SnapshotContents snap;
+    if (ReadSnapshot(std::string_view(snapshot).substr(0, cut), &snap)) {
+      CheckSnapshotInvariants(snap);
+    }
+  }
+  for (size_t cut = 0; cut <= journal.size(); ++cut) {
+    JournalContents jrnl;
+    if (ReadJournal(std::string_view(journal).substr(0, cut), &jrnl)) {
+      // A truncated journal yields a valid prefix, never an over-read.
+      EXPECT_EQ(jrnl.epoch, 3u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PersistenceFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u, 12u,
+                                           13u, 14u, 15u, 16u));
+
+// Oversized length prefixes must be rejected before allocation: a 4-byte
+// claim of a 4 GiB section must not reserve 4 GiB.
+TEST(PersistenceLimitsTest, HugeSectionLengthIsRejectedNotAllocated) {
+  SnapshotWriter writer(1, 0, 1, 0);
+  std::string bytes = writer.Finish();
+  ByteWriter evil;
+  evil.PutU32(0xffffffffu);  // section length far past kMaxSectionBytes
+  bytes += evil.Take();
+  SnapshotContents snap;
+  if (ReadSnapshot(bytes, &snap)) {
+    EXPECT_TRUE(snap.keys.empty());
+    EXPECT_GE(snap.sections_dropped + snap.sections_total, 0u);
+  }
+}
+
+TEST(PersistenceLimitsTest, HugeFrameLengthIsRejectedNotAllocated) {
+  std::string bytes = persistence::EncodeJournalHeader(1);
+  ByteWriter evil;
+  evil.PutU32(0xffffffffu);  // frame length far past kMaxFrameBytes
+  bytes += evil.Take();
+  JournalContents jrnl;
+  ASSERT_TRUE(ReadJournal(bytes, &jrnl));
+  EXPECT_TRUE(jrnl.records.empty());
+  EXPECT_GT(jrnl.bytes_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace robodet

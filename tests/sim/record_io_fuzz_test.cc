@@ -1,0 +1,193 @@
+// Hostile-input hardening for the CSV load path: capture files travel
+// between machines and operators, so ReadRecordsCsv treats them as
+// untrusted. Mutated and truncated valid files must never crash the
+// reader, and anything it does accept must decode into in-range values —
+// in particular ResourceKind, which downstream switches index by.
+#include "src/sim/record_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "src/util/rng.h"
+
+namespace robodet {
+namespace {
+
+class RecordIoFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("robodet_record_io_fuzz_" + std::to_string(::getpid()) + "_" +
+            std::to_string(GetParam()));
+    std::filesystem::create_directories(dir_);
+    sessions_path_ = (dir_ / "sessions.csv").string();
+    events_path_ = (dir_ / "events.csv").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::vector<SessionRecord> MakeRecords(Rng& rng) {
+    std::vector<SessionRecord> records;
+    const size_t n = 2 + rng.UniformU64(6);
+    for (size_t i = 0; i < n; ++i) {
+      SessionRecord r;
+      r.session_id = 100 + i;
+      r.client_type = (i % 2) == 0 ? "human" : "spam_harvester";
+      r.truly_human = (i % 2) == 0;
+      r.observation.request_count = static_cast<int>(rng.UniformU64(200));
+      r.observation.instrumented_pages = static_cast<int>(rng.UniformU64(20));
+      r.observation.signals.css_probe_at = static_cast<int>(rng.UniformU64(10));
+      r.observation.signals.mouse_event_at = static_cast<int>(rng.UniformU64(10));
+      r.observation.signals.ua_echo_agent = "agent-" + std::to_string(rng.UniformU64(10));
+      r.first_request = static_cast<TimeMs>(rng.UniformU64(1000000));
+      r.last_request = r.first_request + static_cast<TimeMs>(rng.UniformU64(1000000));
+      const size_t events = rng.UniformU64(8);
+      for (size_t e = 0; e < events; ++e) {
+        RequestEvent ev;
+        ev.kind = static_cast<ResourceKind>(
+            rng.UniformU64(static_cast<uint64_t>(ResourceKind::kOther) + 1));
+        ev.status_class = static_cast<uint8_t>(2 + rng.UniformU64(4));
+        ev.is_embedded = rng.Bernoulli(0.5);
+        r.events.push_back(ev);
+      }
+      records.push_back(std::move(r));
+    }
+    return records;
+  }
+
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+
+  void Spit(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  // Whatever the reader accepted must be safe to hand downstream.
+  static void CheckInvariants(const std::vector<SessionRecord>& loaded) {
+    for (const SessionRecord& r : loaded) {
+      EXPECT_GE(r.observation.request_count, 0);
+      EXPECT_GE(r.observation.instrumented_pages, 0);
+      for (const RequestEvent& e : r.events) {
+        EXPECT_LE(static_cast<uint64_t>(e.kind),
+                  static_cast<uint64_t>(ResourceKind::kOther));
+        EXPECT_LE(e.status_class, 9);
+      }
+    }
+  }
+
+  std::filesystem::path dir_;
+  std::string sessions_path_;
+  std::string events_path_;
+};
+
+TEST_P(RecordIoFuzzTest, MutatedFilesNeverCrashAndStayInRange) {
+  Rng rng(GetParam());
+  const std::vector<SessionRecord> records = MakeRecords(rng);
+  ASSERT_TRUE(WriteSessionsCsv(sessions_path_, records));
+  ASSERT_TRUE(WriteEventsCsv(events_path_, records));
+  const std::string sessions_bytes = Slurp(sessions_path_);
+  const std::string events_bytes = Slurp(events_path_);
+
+  for (int round = 0; round < 48; ++round) {
+    std::string s = sessions_bytes;
+    std::string e = events_bytes;
+    std::string& target = rng.Bernoulli(0.5) ? s : e;
+    const size_t flips = 1 + rng.UniformU64(6);
+    for (size_t i = 0; i < flips && !target.empty(); ++i) {
+      target[rng.UniformU64(target.size())] = static_cast<char>(rng.UniformU64(256));
+    }
+    Spit(sessions_path_, s);
+    Spit(events_path_, e);
+    std::vector<SessionRecord> loaded;
+    if (ReadRecordsCsv(sessions_path_, events_path_, &loaded)) {
+      CheckInvariants(loaded);
+    }
+  }
+}
+
+TEST_P(RecordIoFuzzTest, TruncatedFilesNeverCrash) {
+  Rng rng(GetParam() ^ 0x7c47ULL);
+  const std::vector<SessionRecord> records = MakeRecords(rng);
+  ASSERT_TRUE(WriteSessionsCsv(sessions_path_, records));
+  ASSERT_TRUE(WriteEventsCsv(events_path_, records));
+  const std::string sessions_bytes = Slurp(sessions_path_);
+  const std::string events_bytes = Slurp(events_path_);
+
+  for (int round = 0; round < 32; ++round) {
+    Spit(sessions_path_, sessions_bytes.substr(0, rng.UniformU64(sessions_bytes.size() + 1)));
+    Spit(events_path_, events_bytes.substr(0, rng.UniformU64(events_bytes.size() + 1)));
+    std::vector<SessionRecord> loaded;
+    if (ReadRecordsCsv(sessions_path_, events_path_, &loaded)) {
+      CheckInvariants(loaded);
+    }
+  }
+}
+
+TEST_P(RecordIoFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam() ^ 0x6a5bULL);
+  for (int round = 0; round < 16; ++round) {
+    std::string s, e;
+    const size_t sn = rng.UniformU64(2048);
+    const size_t en = rng.UniformU64(2048);
+    for (size_t i = 0; i < sn; ++i) {
+      s.push_back(static_cast<char>(rng.UniformU64(256)));
+    }
+    for (size_t i = 0; i < en; ++i) {
+      e.push_back(static_cast<char>(rng.UniformU64(256)));
+    }
+    Spit(sessions_path_, s);
+    Spit(events_path_, e);
+    std::vector<SessionRecord> loaded;
+    if (ReadRecordsCsv(sessions_path_, events_path_, &loaded)) {
+      CheckInvariants(loaded);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordIoFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u, 12u,
+                                           13u, 14u, 15u, 16u));
+
+// Deterministic rejections the fuzz rounds may not hit: out-of-enum kind
+// and overflowing numeric columns are errors, not silent casts.
+TEST(RecordIoHardeningTest, RejectsOutOfRangeKind) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("robodet_record_io_hard_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string sessions_path = (dir / "s.csv").string();
+  const std::string events_path = (dir / "e.csv").string();
+
+  SessionRecord r;
+  r.session_id = 7;
+  r.client_type = "human";
+  ASSERT_TRUE(WriteSessionsCsv(sessions_path, {r}));
+  {
+    std::ofstream out(events_path, std::ios::trunc);
+    out << "session_id,seq,kind,status_class,is_head,has_referrer,unseen_referrer,"
+           "is_embedded,is_link_follow,is_favicon\n";
+    out << "7,0,250,2,0,0,0,0,0,0\n";  // kind=250: not a ResourceKind.
+  }
+  std::vector<SessionRecord> loaded;
+  EXPECT_FALSE(ReadRecordsCsv(sessions_path, events_path, &loaded));
+
+  // Request_count overflowing int is rejected too.
+  {
+    std::ofstream out(sessions_path, std::ios::app);
+    out << "8,robot,0,99999999999999999999,0,0,0,0,0,0,0,0,0,0,0,0,,0,0\n";
+  }
+  {
+    std::ofstream out(events_path, std::ios::trunc);
+    out << "session_id,seq,kind,status_class,is_head,has_referrer,unseen_referrer,"
+           "is_embedded,is_link_follow,is_favicon\n";
+  }
+  EXPECT_FALSE(ReadRecordsCsv(sessions_path, events_path, &loaded));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace robodet

@@ -6,18 +6,20 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace robodet {
 
 class Flags {
  public:
   // Parses argv of the form --key=value or bare --key (value "1").
-  // Unknown arguments are collected in errors().
+  // Non-flag arguments are collected in positional() for tools that take
+  // them (robodet_statedump accepts a bare state directory).
   Flags(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       std::string_view arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
-        errors_ += "unexpected argument: " + std::string(arg) + "\n";
+        positional_.emplace_back(arg);
         continue;
       }
       arg.remove_prefix(2);
@@ -48,9 +50,11 @@ class Flags {
   bool GetBool(const std::string& key) const { return values_.contains(key); }
 
   const std::string& errors() const { return errors_; }
+  const std::vector<std::string>& positional() const { return positional_; }
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
   std::string errors_;
 };
 

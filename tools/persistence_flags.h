@@ -1,0 +1,37 @@
+// Shared persistence/crash flag wiring, the durability counterpart of
+// chaos_flags.h: the same knobs (state directory, checkpoint cadence,
+// seeded crash schedule) behave identically in robodet_metrics and
+// robodet_capture.
+#ifndef ROBODET_TOOLS_PERSISTENCE_FLAGS_H_
+#define ROBODET_TOOLS_PERSISTENCE_FLAGS_H_
+
+#include <cstdint>
+
+#include "src/robodet.h"
+#include "tools/flags.h"
+
+namespace robodet {
+
+inline constexpr char kPersistenceUsage[] =
+    "       [--state-dir=DIR] [--snapshot-interval=8192]\n"
+    "       [--crash-rate=0] [--crash-restart-ms=30000] [--crash-seed=4242]\n";
+
+// Applies the persistence/crash knobs onto an experiment config. With
+// --state-dir the proxy journals its key/session tables there and
+// recovers them after every simulated crash; --crash-rate (crashes per
+// node per simulated hour) drives the seeded crash schedule. Unset flags
+// keep the config's defaults.
+inline void ApplyPersistenceFlags(const Flags& flags, ExperimentConfig* config) {
+  config->proxy.persistence.state_dir = flags.GetString("state-dir", "");
+  config->proxy.persistence.snapshot_interval_records = static_cast<uint64_t>(
+      flags.GetInt("snapshot-interval",
+                   static_cast<long>(config->proxy.persistence.snapshot_interval_records)));
+  config->crashes.crash_rate_per_hour = flags.GetDouble("crash-rate", 0.0);
+  config->crashes.restart_delay =
+      static_cast<TimeMs>(flags.GetInt("crash-restart-ms", 30000));
+  config->crashes.seed = static_cast<uint64_t>(flags.GetInt("crash-seed", 4242));
+}
+
+}  // namespace robodet
+
+#endif  // ROBODET_TOOLS_PERSISTENCE_FLAGS_H_

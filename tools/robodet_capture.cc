@@ -5,11 +5,14 @@
 // Usage:
 //   robodet_capture --clients=2000 --seed=1 --sessions=sessions.csv
 //       --events=events.csv [--captcha] [--policy] [--pages=200] [--decoys=4]
+//       [--state-dir=DIR] [--snapshot-interval=8192] [--crash-rate=0]
+//       [--crash-restart-ms=30000] [--crash-seed=4242]
 #include <cstdio>
 
 #include "src/robodet.h"
 #include "tools/chaos_flags.h"
 #include "tools/flags.h"
+#include "tools/persistence_flags.h"
 
 using namespace robodet;
 
@@ -19,8 +22,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s", flags.errors().c_str());
     std::fprintf(stderr,
                  "usage: robodet_capture --clients=N --seed=S --sessions=F --events=F\n"
-                 "       [--captcha] [--policy] [--pages=N] [--decoys=M]\n%s",
-                 kChaosUsage);
+                 "       [--captcha] [--policy] [--pages=N] [--decoys=M]\n%s%s",
+                 kChaosUsage, kPersistenceUsage);
     return flags.GetBool("help") ? 0 : 2;
   }
 
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
   config.proxy.enable_captcha = flags.GetBool("captcha");
   config.proxy.enable_policy = flags.GetBool("policy");
   ApplyChaosFlags(flags, &config);
+  ApplyPersistenceFlags(flags, &config);
   if (config.proxy.enable_captcha) {
     config.mix.human_captcha_attempt_prob = 0.38;
   }

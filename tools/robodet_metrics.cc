@@ -10,15 +10,21 @@
 //       [--fault-rate=R] [--slow-rate=R/2] [--corrupt-rate=R/2]
 //       [--fault-seed=1337] [--breaker-threshold=5]
 //       [--breaker-cooldown-ms=30000] [--fail-closed] [--admission-rps=0]
+//       [--state-dir=DIR] [--snapshot-interval=8192] [--crash-rate=0]
+//       [--crash-restart-ms=30000] [--crash-seed=4242]
 //
 // With --fault-rate the scrape shows the resilient path end-to-end:
 // robodet_origin_* fetch outcomes, robodet_breaker_* trips and probes,
-// and robodet_degraded_* ladder decisions.
+// and robodet_degraded_* ladder decisions. With --state-dir and
+// --crash-rate it shows the durability path: robodet_node_restarts_total
+// crashes, robodet_persistence_* journal activity, robodet_recovery_*
+// salvage results.
 #include <cstdio>
 
 #include "src/robodet.h"
 #include "tools/chaos_flags.h"
 #include "tools/flags.h"
+#include "tools/persistence_flags.h"
 
 using namespace robodet;
 
@@ -29,8 +35,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: robodet_metrics [--format=prom|json] [--clients=200] "
                  "[--seed=1] [--min-requests=10] [--traces] "
-                 "[--trace-capacity=128] [--sample-every=64] [--policy]\n%s",
-                 kChaosUsage);
+                 "[--trace-capacity=128] [--sample-every=64] [--policy]\n%s%s",
+                 kChaosUsage, kPersistenceUsage);
     return flags.GetBool("help") ? 0 : 2;
   }
 
@@ -39,6 +45,7 @@ int main(int argc, char** argv) {
   config.num_clients = static_cast<size_t>(flags.GetInt("clients", 200));
   config.proxy.enable_policy = flags.GetBool("policy");
   ApplyChaosFlags(flags, &config);
+  ApplyPersistenceFlags(flags, &config);
   Experiment experiment(config);
 
   TraceRecorder::Config trace_config;
