@@ -20,8 +20,14 @@ std::string_view ReasonPhrase(StatusCode s) {
       return "Forbidden";
     case StatusCode::kNotFound:
       return "Not Found";
+    case StatusCode::kRequestTimeout:
+      return "Request Timeout";
+    case StatusCode::kPayloadTooLarge:
+      return "Payload Too Large";
     case StatusCode::kTooManyRequests:
       return "Too Many Requests";
+    case StatusCode::kHeaderFieldsTooLarge:
+      return "Request Header Fields Too Large";
     case StatusCode::kInternalServerError:
       return "Internal Server Error";
     case StatusCode::kBadGateway:

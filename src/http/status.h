@@ -17,7 +17,10 @@ enum class StatusCode : int {
   kBadRequest = 400,
   kForbidden = 403,
   kNotFound = 404,
+  kRequestTimeout = 408,
+  kPayloadTooLarge = 413,
   kTooManyRequests = 429,
+  kHeaderFieldsTooLarge = 431,
   kInternalServerError = 500,
   kBadGateway = 502,
   kServiceUnavailable = 503,

@@ -43,13 +43,28 @@ WireResult<Request> ParseRequestText(std::string_view text);
 
 // Parses "HTTP/1.x NNN Reason\r\nheaders\r\n\r\nbody". The body is
 // everything after the blank line (Content-Length, when present and sane,
-// trims it; chunked encoding is not supported and is reported as an
-// error rather than misparsed).
+// trims it). A `Transfer-Encoding: chunked` body is decoded: chunks are
+// concatenated (each chunk-size line is bounded by kMaxWireLineBytes, the
+// decoded total by kMaxWireBodyBytes), trailer fields are appended to the
+// headers, and the message is rewritten to identity framing — the
+// Transfer-Encoding header is dropped and Content-Length set to the
+// decoded size, so re-serializing yields an equivalent, identity-framed
+// message.
 WireResult<Response> ParseResponseText(std::string_view text);
 
-// Serialization, inverse of the above modulo header normalization.
+// Serialization, inverse of the above modulo header normalization. Both
+// emit accurate framing: Content-Length is set to the actual body size
+// (stale values are replaced, Transfer-Encoding is dropped) so a parse of
+// the output recovers the same body — what the connection state machine
+// relies on to frame messages on a keep-alive stream. Bodyless response
+// statuses (1xx/204/304) omit Content-Length when the body is empty.
 std::string SerializeRequest(const Request& request);
 std::string SerializeResponse(const Response& response);
+
+// `Connection` header semantics (RFC 7230 §6.1): an explicit "close" or
+// "keep-alive" token wins; otherwise HTTP/1.1 defaults to keep-alive and
+// HTTP/1.0 to close.
+bool WantKeepAlive(const Headers& headers, bool http11);
 
 }  // namespace robodet
 

@@ -1,0 +1,47 @@
+// Per-client request serialization for handlers behind NetServer.
+//
+// SO_REUSEPORT spreads connections across workers by 4-tuple, so two
+// connections from the same client can land on two worker threads and
+// their requests can be served at the same instant. The proxy's
+// concurrent mode lock-stripes its *tables*, but a session's state
+// mutates outside those shard locks on the assumption that one client's
+// requests arrive one at a time — true in the simulation drivers (each
+// thread owns a disjoint client population), false over real sockets.
+// Guarding the handler with the stripe for the request's client IP
+// restores the assumption without threading locks through the proxy:
+//
+//   StripedClientLock gate;
+//   auto handler = [&](Request&& request, const ConnectionInfo&) {
+//     const auto hold = gate.Guard(request.client_ip);
+//     return Serve(proxy.Handle(request));
+//   };
+//
+// Striped rather than global so unrelated clients never contend; two
+// clients colliding on a stripe costs serialization, never correctness.
+#ifndef ROBODET_SRC_NET_CLIENT_LOCK_H_
+#define ROBODET_SRC_NET_CLIENT_LOCK_H_
+
+#include <array>
+#include <mutex>
+
+#include "src/http/request.h"
+
+namespace robodet {
+
+class StripedClientLock {
+ public:
+  std::unique_lock<std::mutex> Guard(IpAddress ip) {
+    // Multiplicative mixing: client IPs are often sequential (one NAT
+    // block, one load generator), and low bits alone would pile them
+    // onto adjacent stripes.
+    const uint64_t mixed = static_cast<uint64_t>(ip.value()) * 0x9e3779b97f4a7c15ULL;
+    return std::unique_lock<std::mutex>(stripes_[(mixed >> 32) % stripes_.size()]);
+  }
+
+ private:
+  std::array<std::mutex, 64> stripes_;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_NET_CLIENT_LOCK_H_

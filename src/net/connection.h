@@ -1,0 +1,180 @@
+// Per-connection HTTP/1.1 state machine: bytes in → framed request →
+// handler → serialized response → bytes out, with keep-alive, pipelining,
+// timeouts, buffer ceilings and write backpressure. The connection never
+// touches epoll itself: event entry points (OnReadable/OnWritable) return
+// whether the connection survives, and WantedEvents() tells the owning
+// worker what interest to (re)register. That keeps every transition
+// testable without a socket pair and keeps epoll bookkeeping in one place.
+#ifndef ROBODET_SRC_NET_CONNECTION_H_
+#define ROBODET_SRC_NET_CONNECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/http/request.h"
+#include "src/net/framer.h"
+#include "src/net/socket.h"
+#include "src/obs/metrics.h"
+#include "src/util/clock.h"
+
+namespace robodet {
+
+struct ConnectionInfo {
+  IpAddress peer_ip;
+  uint16_t peer_port = 0;
+  uint64_t id = 0;  // Server-unique accept sequence number.
+};
+
+// What the application hands back for one request. `robot` marks the
+// session as robot-classified *right now* — under connection pressure the
+// server sheds those connections first (§3.2's "robots pay first" rule
+// applied to the socket layer).
+struct ServedResponse {
+  Response response;
+  bool close = false;  // Force Connection: close after this response.
+  bool robot = false;
+};
+
+using NetHandler = std::function<ServedResponse(Request&&, const ConnectionInfo&)>;
+
+// Shared knobs; the server owns one instance and every connection points
+// at it.
+struct ConnectionLimits {
+  // In-buffer ceiling: one max body plus header allowance. Anything that
+  // overflows it without framing a request is hostile.
+  size_t max_in_buffer = (16u << 20) + (64u << 10);
+  // Write-queue high water: above it the connection stops reading (and
+  // stops serving pipelined requests) until the peer drains us back under
+  // the low water mark.
+  size_t write_high_water = 1u << 20;
+  size_t write_low_water = 256u << 10;
+  // Requests served per readable wakeup: bounds how long one pipelining
+  // client can monopolize the worker loop.
+  size_t max_requests_per_wake = 16;
+  // Receiving one request, from its first byte (slowloris defense).
+  TimeMs read_timeout = 10 * kSecond;
+  // Between requests on a keep-alive connection.
+  TimeMs idle_timeout = 60 * kSecond;
+  // Without a single byte of write progress while output is queued.
+  TimeMs write_timeout = 10 * kSecond;
+};
+
+enum class TimeoutKind { kNone, kRead, kIdle, kWrite };
+
+// Live traffic counters shared by every connection on a worker, with
+// optional registry mirrors. Incremented at event time, *before* the
+// response bytes reach the peer, so an observer that has already seen a
+// response never reads a count that excludes it.
+struct NetStatsSink {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> parse_errors{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  Counter* m_requests = nullptr;
+  Counter* m_parse_errors = nullptr;
+  Counter* m_bytes_in = nullptr;
+  Counter* m_bytes_out = nullptr;
+
+  void AddRequest() {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    IncIfBound(m_requests);
+  }
+  void AddParseError() {
+    parse_errors.fetch_add(1, std::memory_order_relaxed);
+    IncIfBound(m_parse_errors);
+  }
+  void AddBytesIn(uint64_t n) {
+    bytes_in.fetch_add(n, std::memory_order_relaxed);
+    IncIfBound(m_bytes_in, n);
+  }
+  void AddBytesOut(uint64_t n) {
+    bytes_out.fetch_add(n, std::memory_order_relaxed);
+    IncIfBound(m_bytes_out, n);
+  }
+};
+
+class NetConnection {
+ public:
+  NetConnection(ScopedFd fd, ConnectionInfo info, const ConnectionLimits* limits,
+                const NetHandler* handler, const SimClock* clock, NetStatsSink* sink);
+
+  NetConnection(const NetConnection&) = delete;
+  NetConnection& operator=(const NetConnection&) = delete;
+
+  // Event entry points. Return false when the connection is finished and
+  // the worker should destroy it (destructor closes the fd).
+  bool OnReadable();
+  bool OnWritable();
+
+  // Deadline check against the state-appropriate timeout. kRead stages a
+  // best-effort 408 before closing; the caller destroys the connection
+  // when the result is not kNone — except kRead with pending output,
+  // where the 408 flush gets one write_timeout's grace.
+  TimeoutKind CheckDeadline(TimeMs now);
+
+  // Graceful drain: finish the request in flight (its response is sent
+  // with Connection: close), then close. Idle connections report
+  // finished() immediately.
+  void BeginDrain();
+
+  // Epoll interest matching the current state: EPOLLIN unless the write
+  // queue is over high water (backpressure) or we are flushing-to-close,
+  // EPOLLOUT whenever output is queued.
+  uint32_t WantedEvents() const;
+
+  // Nothing buffered in either direction and no request mid-flight.
+  bool idle() const { return in_.empty() && OutstandingOut() == 0; }
+  // Drain-complete: everything flushed on a closing connection.
+  bool finished() const { return close_after_flush_ && OutstandingOut() == 0; }
+
+  bool robot() const { return robot_; }
+  uint64_t requests_served() const { return requests_served_; }
+  const ConnectionInfo& info() const { return info_; }
+  int fd() const { return fd_.get(); }
+
+  // Stages a canned response (503 shed notice) and closes after flushing.
+  void ShedWith(StatusCode status, std::string_view detail);
+
+ private:
+  // Serves every fully buffered request (bounded by max_requests_per_wake
+  // and the write high-water mark). False → destroy.
+  bool ProcessBufferedRequests();
+  bool ServeOne(const FramedRequest& framed);
+  void StageError(StatusCode status, std::string_view detail);
+  // Writes as much queued output as the socket accepts. False → destroy
+  // (hard write error, or flushed everything on a closing connection).
+  bool FlushWrites();
+  size_t OutstandingOut() const { return out_.size() - out_offset_; }
+  void TouchActivity() { last_activity_ = clock_->Now(); }
+
+  ScopedFd fd_;
+  ConnectionInfo info_;
+  const ConnectionLimits* limits_;  // Not owned.
+  const NetHandler* handler_;      // Not owned.
+  const SimClock* clock_;          // Not owned (WallClock in the daemon).
+  NetStatsSink* sink_;             // Not owned; may be null.
+
+  std::string in_;   // Unparsed request bytes.
+  std::string out_;  // Serialized, unsent response bytes.
+  size_t out_offset_ = 0;
+
+  TimeMs last_activity_ = 0;        // Any socket progress.
+  TimeMs request_start_ = 0;        // First byte of the request being received.
+  TimeMs last_write_progress_ = 0;  // Last byte accepted by the socket.
+  // True while a request is partially buffered; request_start_ is only
+  // meaningful then (a WallClock starts at 0, so 0 cannot be a sentinel).
+  bool receiving_ = false;
+
+  bool close_after_flush_ = false;
+  bool draining_ = false;
+  bool peer_half_closed_ = false;
+  bool timed_out_408_ = false;
+  bool robot_ = false;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_NET_CONNECTION_H_

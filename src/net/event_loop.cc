@@ -1,0 +1,96 @@
+#include "src/net/event_loop.h"
+
+#include <sys/epoll.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace robodet {
+
+EventLoop::EventLoop() : epoll_(::epoll_create1(EPOLL_CLOEXEC)), wake_(CreateWakeupFd()) {
+  if (ok()) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_.get();
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_.get(), &ev) != 0) {
+      epoll_.reset();
+    }
+  }
+}
+
+bool EventLoop::Add(int fd, uint32_t events, FdCallback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return false;
+  }
+  callbacks_[fd] = std::move(callback);
+  return true;
+}
+
+bool EventLoop::Mod(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::Del(int fd) {
+  (void)::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+int EventLoop::PollOnce(int timeout_ms) {
+  epoll_event ready[64];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_.get(), ready, 64, timeout_ms < 0 ? 0 : timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    return -1;
+  }
+
+  // Queued closures first: a drain request should close idle connections
+  // before their fd events are dispatched, not after.
+  std::vector<std::function<void()>> queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued.swap(queued_);
+  }
+  for (auto& fn : queued) {
+    fn();
+  }
+
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = ready[i].data.fd;
+    if (fd == wake_.get()) {
+      DrainWakeupFd(fd);
+      continue;
+    }
+    // A prior callback in this batch may have closed this fd.
+    const auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) {
+      continue;
+    }
+    // Copy before invoking: the callback may Del its own fd, which would
+    // destroy the std::function mid-call if invoked through the map slot.
+    const FdCallback callback = it->second;
+    callback(ready[i].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::RunInLoop(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued_.push_back(std::move(fn));
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() { NotifyWakeupFd(wake_.get()); }
+
+}  // namespace robodet

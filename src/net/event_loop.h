@@ -1,0 +1,64 @@
+// A single-threaded epoll reactor. Each worker thread owns one loop; fds
+// are registered with edge-triggered-free (level-triggered) interest and a
+// callback, and PollOnce dispatches whatever is ready. Cross-thread input
+// arrives only through RunInLoop, which queues a closure and wakes the
+// loop via eventfd — the only two thread-safe entry points are RunInLoop
+// and Wakeup; everything else is owner-thread-only by design, so the loop
+// itself needs no locks on the hot path.
+#ifndef ROBODET_SRC_NET_EVENT_LOOP_H_
+#define ROBODET_SRC_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/socket.h"
+
+namespace robodet {
+
+class EventLoop {
+ public:
+  // Receives the ready epoll event mask (EPOLLIN/EPOLLOUT/EPOLLHUP/...).
+  using FdCallback = std::function<void(uint32_t)>;
+
+  EventLoop();
+  ~EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // False when epoll/eventfd construction failed (the server refuses to
+  // start rather than spin on a dead loop).
+  bool ok() const { return static_cast<bool>(epoll_) && static_cast<bool>(wake_); }
+
+  bool Add(int fd, uint32_t events, FdCallback callback);
+  bool Mod(int fd, uint32_t events);
+  void Del(int fd);
+  bool watching(int fd) const { return callbacks_.contains(fd); }
+
+  // One reactor turn: wait up to `timeout_ms` (0 = poll, clamped at the
+  // caller's sweep cadence), run queued closures, dispatch ready fds.
+  // Returns the number of fd events dispatched, or -1 on epoll failure.
+  int PollOnce(int timeout_ms);
+
+  // Thread-safe: runs `fn` on the loop thread during its next turn.
+  void RunInLoop(std::function<void()> fn);
+  // Thread-safe: interrupts a blocking PollOnce.
+  void Wakeup();
+
+ private:
+  ScopedFd epoll_;
+  ScopedFd wake_;
+  // Owner-thread-only. A callback may Del any fd (including one that is
+  // ready in the same batch); dispatch re-checks membership per event.
+  std::unordered_map<int, FdCallback> callbacks_;
+
+  std::mutex mu_;
+  std::vector<std::function<void()>> queued_;  // Guarded by mu_.
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_NET_EVENT_LOOP_H_

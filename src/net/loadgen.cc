@@ -1,0 +1,291 @@
+#include "src/net/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string_view>
+#include <thread>
+
+#include "src/net/socket.h"
+#include "src/util/strings.h"
+
+namespace robodet {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double MsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start).count();
+}
+
+// Blocking-socket client state for one connection slot.
+struct ClientResult {
+  uint64_t requests_sent = 0;
+  uint64_t responses_2xx = 0;
+  uint64_t responses_other = 0;
+  uint64_t connect_failures = 0;
+  uint64_t io_failures = 0;
+  std::vector<double> latencies_ms;
+  std::map<int, uint64_t> status_counts;
+};
+
+std::string BuildRequest(const LoadGenConfig& config, int client_index, size_t request_index) {
+  const std::string& path = config.paths[request_index % config.paths.size()];
+  std::string out = "GET ";
+  out += path;
+  out += " HTTP/1.1\r\nHost: ";
+  out += config.host;
+  out += "\r\nUser-Agent: ";
+  out += config.user_agent;
+  out += "\r\n";
+  if (config.distinct_clients) {
+    // 10.77.x.y, unique per client slot: a server with --trust-xff sees
+    // each connection as its own session.
+    out += "X-Forwarded-For: 10.77.";
+    out += std::to_string((client_index / 250) % 250);
+    out += '.';
+    out += std::to_string(client_index % 250 + 1);
+    out += "\r\n";
+  }
+  if (!config.keep_alive) {
+    out += "Connection: close\r\n";
+  }
+  out += "\r\n";
+  return out;
+}
+
+bool WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const IoResult wrote = WriteOnce(fd, data.data() + off, data.size() - off);
+    if (wrote.n <= 0 && !wrote.would_block) {
+      return false;
+    }
+    if (wrote.n > 0) {
+      off += static_cast<size_t>(wrote.n);
+    }
+    // Blocking socket: would_block should not happen, but a retry is the
+    // right answer if it somehow does.
+  }
+  return true;
+}
+
+// Reads one complete response off a blocking socket. `buffer` carries
+// leftover bytes (pipelined tail) between calls. Returns the status code,
+// or nullopt on a framing/transport failure.
+std::optional<int> ReadOneResponse(int fd, std::string* buffer) {
+  for (;;) {
+    // Frame what is buffered: status line, header block, Content-Length.
+    const size_t header_end = buffer->find("\r\n\r\n");
+    if (header_end != std::string::npos) {
+      const std::string_view head(buffer->data(), header_end);
+      // "HTTP/1.1 NNN ..." — status is the second token.
+      int status = 0;
+      const size_t sp = head.find(' ');
+      if (sp == std::string_view::npos || head.size() < sp + 4) {
+        return std::nullopt;
+      }
+      const auto parsed = ParseU64(head.substr(sp + 1, 3));
+      if (!parsed.has_value()) {
+        return std::nullopt;
+      }
+      status = static_cast<int>(*parsed);
+
+      size_t content_length = 0;
+      size_t line_start = 0;
+      while (line_start < head.size()) {
+        size_t line_end = head.find("\r\n", line_start);
+        if (line_end == std::string_view::npos) {
+          line_end = head.size();
+        }
+        const std::string_view line = head.substr(line_start, line_end - line_start);
+        const size_t colon = line.find(':');
+        if (colon != std::string_view::npos &&
+            EqualsIgnoreCase(TrimWhitespace(line.substr(0, colon)), "Content-Length")) {
+          const auto len = ParseU64(TrimWhitespace(line.substr(colon + 1)));
+          if (!len.has_value()) {
+            return std::nullopt;
+          }
+          content_length = static_cast<size_t>(*len);
+        }
+        line_start = line_end + 2;
+      }
+
+      const size_t total = header_end + 4 + content_length;
+      if (buffer->size() >= total) {
+        buffer->erase(0, total);
+        return status;
+      }
+    }
+
+    char chunk[16 * 1024];
+    const IoResult got = ReadOnce(fd, chunk, sizeof(chunk));
+    if (got.n > 0) {
+      buffer->append(chunk, static_cast<size_t>(got.n));
+      continue;
+    }
+    return std::nullopt;  // EOF or error mid-response.
+  }
+}
+
+void RunClient(const LoadGenConfig& config, int client_index, ClientResult* result) {
+  const SteadyClock::time_point run_start = SteadyClock::now();
+  const double budget_ms = static_cast<double>(config.duration);
+
+  ScopedFd fd;
+  std::string buffer;
+  size_t request_index = 0;
+  const auto target_count = static_cast<size_t>(std::max(0, config.requests_per_connection));
+
+  for (;;) {
+    if (config.duration > 0) {
+      if (MsSince(run_start) >= budget_ms) {
+        break;
+      }
+    } else if (request_index >= target_count) {
+      break;
+    }
+
+    if (!fd) {
+      std::string error;
+      auto connected = ConnectTcp(config.target_ip, config.port, &error);
+      if (!connected.has_value()) {
+        result->connect_failures++;
+        break;  // The server is gone; hammering connect() tells us nothing.
+      }
+      fd = std::move(*connected);
+      buffer.clear();
+    }
+
+    const std::string request = BuildRequest(config, client_index, request_index);
+    const SteadyClock::time_point sent = SteadyClock::now();
+    result->requests_sent++;
+    request_index++;
+    if (!WriteAll(fd.get(), request)) {
+      result->io_failures++;
+      fd.reset();
+      continue;
+    }
+    const std::optional<int> status = ReadOneResponse(fd.get(), &buffer);
+    if (!status.has_value()) {
+      result->io_failures++;
+      fd.reset();
+      continue;
+    }
+    result->latencies_ms.push_back(MsSince(sent));
+    result->status_counts[*status]++;
+    if (*status >= 200 && *status < 300) {
+      result->responses_2xx++;
+    } else {
+      result->responses_other++;
+    }
+    if (!config.keep_alive) {
+      fd.reset();
+    }
+    if (config.think_time > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(config.think_time));
+    }
+  }
+}
+
+double QuantileOfSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+LoadGenReport RunLoadGen(const LoadGenConfig& config) {
+  const int n = std::max(1, config.connections);
+  std::vector<ClientResult> results(static_cast<size_t>(n));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+
+  const SteadyClock::time_point start = SteadyClock::now();
+  for (int i = 0; i < n; ++i) {
+    threads.emplace_back(RunClient, std::cref(config), i, &results[static_cast<size_t>(i)]);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const double elapsed_ms = MsSince(start);
+
+  LoadGenReport report;
+  std::vector<double> latencies;
+  for (const auto& r : results) {
+    report.requests_sent += r.requests_sent;
+    report.responses_2xx += r.responses_2xx;
+    report.responses_other += r.responses_other;
+    report.connect_failures += r.connect_failures;
+    report.io_failures += r.io_failures;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+    for (const auto& [status, count] : r.status_counts) {
+      report.status_counts[status] += count;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  report.elapsed_seconds = elapsed_ms / 1000.0;
+  const uint64_t completed = report.responses_2xx + report.responses_other;
+  report.requests_per_second =
+      elapsed_ms > 0.0 ? static_cast<double>(completed) / (elapsed_ms / 1000.0) : 0.0;
+  report.latency_p50_ms = QuantileOfSorted(latencies, 0.50);
+  report.latency_p90_ms = QuantileOfSorted(latencies, 0.90);
+  report.latency_p99_ms = QuantileOfSorted(latencies, 0.99);
+  report.latency_max_ms = latencies.empty() ? 0.0 : latencies.back();
+  return report;
+}
+
+std::string LoadGenReport::KeyValues(const std::string& prefix) const {
+  std::string out;
+  const auto add = [&](const std::string& key, const std::string& value) {
+    out += prefix;
+    out += '_';
+    out += key;
+    out += '=';
+    out += value;
+    out += '\n';
+  };
+  add("requests", std::to_string(requests_sent));
+  add("responses_2xx", std::to_string(responses_2xx));
+  add("responses_other", std::to_string(responses_other));
+  add("io_failures", std::to_string(io_failures + connect_failures));
+  add("rps", FormatDouble(requests_per_second));
+  add("p50_ms", FormatDouble(latency_p50_ms));
+  add("p90_ms", FormatDouble(latency_p90_ms));
+  add("p99_ms", FormatDouble(latency_p99_ms));
+  return out;
+}
+
+std::string LoadGenReport::Summary() const {
+  std::string out;
+  out += "requests sent:      " + std::to_string(requests_sent) + "\n";
+  out += "responses 2xx:      " + std::to_string(responses_2xx) + "\n";
+  out += "responses other:    " + std::to_string(responses_other) + "\n";
+  for (const auto& [status, count] : status_counts) {
+    out += "  status " + std::to_string(status) + ": " + std::to_string(count) + "\n";
+  }
+  out += "connect failures:   " + std::to_string(connect_failures) + "\n";
+  out += "io failures:        " + std::to_string(io_failures) + "\n";
+  out += "elapsed:            " + FormatDouble(elapsed_seconds) + " s\n";
+  out += "throughput:         " + FormatDouble(requests_per_second) + " req/s\n";
+  out += "latency p50/p90/p99: " + FormatDouble(latency_p50_ms) + " / " +
+         FormatDouble(latency_p90_ms) + " / " + FormatDouble(latency_p99_ms) + " ms (max " +
+         FormatDouble(latency_max_ms) + ")\n";
+  return out;
+}
+
+}  // namespace robodet

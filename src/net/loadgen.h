@@ -1,0 +1,72 @@
+// Loopback load harness: N concurrent blocking-socket clients driving a
+// NetServer (or any HTTP/1.1 server) and reporting throughput plus latency
+// quantiles. Closed-loop by design — each client issues the next request
+// only after the previous response lands, optionally after a think-time
+// pause — because that is the regime where per-request latency means
+// something; an open-loop firehose measures queueing, not the server.
+//
+// Used three ways: tools/robodet_loadgen wraps it in a CLI, the loopback
+// tests drive small configurations against in-process servers, and
+// bench/net_throughput turns its report into BENCH lines.
+#ifndef ROBODET_SRC_NET_LOADGEN_H_
+#define ROBODET_SRC_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/clock.h"
+
+namespace robodet {
+
+struct LoadGenConfig {
+  std::string target_ip = "127.0.0.1";
+  uint16_t port = 0;
+  // Concurrent connections, one client thread each.
+  int connections = 4;
+  // Closed loop: requests per connection. Ignored when duration > 0.
+  int requests_per_connection = 100;
+  // >0: each client runs until this much wall time has elapsed instead of
+  // a fixed request count.
+  TimeMs duration = 0;
+  // Request targets, cycled per client in order.
+  std::vector<std::string> paths = {"/"};
+  std::string user_agent = "robodet-loadgen/1.0";
+  std::string host = "localhost";
+  bool keep_alive = true;  // false: one connection per request.
+  // Stamp X-Forwarded-For with a per-client synthetic address so a server
+  // trusting XFF sees distinct sessions instead of one giant 127.0.0.1.
+  bool distinct_clients = true;
+  // Closed-loop pause between a response and the next request.
+  TimeMs think_time = 0;
+};
+
+struct LoadGenReport {
+  uint64_t requests_sent = 0;
+  uint64_t responses_2xx = 0;
+  uint64_t responses_other = 0;
+  uint64_t connect_failures = 0;
+  uint64_t io_failures = 0;  // Short read/write, premature close, bad framing.
+  double elapsed_seconds = 0.0;
+  double requests_per_second = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+  std::map<int, uint64_t> status_counts;
+
+  // "prefix_rps=... prefix_p50_ms=..." lines for the bench/key=value
+  // convention tools/bench_to_json consumes.
+  std::string KeyValues(const std::string& prefix) const;
+  // Human-readable multi-line summary for the CLI.
+  std::string Summary() const;
+};
+
+// Runs the configured load to completion. Blocking; spawns and joins
+// config.connections threads internally.
+LoadGenReport RunLoadGen(const LoadGenConfig& config);
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_NET_LOADGEN_H_

@@ -1,0 +1,159 @@
+// TCP front end: accepts real connections and drives NetConnection state
+// machines over epoll. One worker thread per loop; every worker owns its
+// own SO_REUSEPORT listener, so the kernel spreads incoming connections
+// and no accept lock exists anywhere. The handler runs on worker threads —
+// it must be thread-safe, and because the kernel spreads by 4-tuple, two
+// connections from the SAME client can be served concurrently; handlers
+// with per-client state (ProxyServer sessions) should serialize per
+// client with StripedClientLock (src/net/client_lock.h).
+//
+// Overload policy is robot-first: when a worker is at its connection cap,
+// an idle keep-alive connection whose last request classified as a robot
+// is evicted to make room; with no robot to evict, the newcomer gets a
+// canned 503 and close. Humans keep their connections; robots pay first —
+// the paper's asymmetry applied at the socket layer.
+#ifndef ROBODET_SRC_NET_SERVER_H_
+#define ROBODET_SRC_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/connection.h"
+#include "src/net/event_loop.h"
+#include "src/net/socket.h"
+#include "src/obs/metrics.h"
+#include "src/util/clock.h"
+
+namespace robodet {
+
+struct NetServerConfig {
+  std::string bind_ip = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned; read the result from port().
+  int workers = 1;
+  // Across all workers; each worker enforces max(1, max_connections/workers).
+  size_t max_connections = 1024;
+  ConnectionLimits limits;
+  // Grace for BeginDrain before in-flight connections are force-closed.
+  TimeMs drain_timeout = 5 * kSecond;
+  int listen_backlog = 128;
+  // >0: shrink SO_SNDBUF on accepted sockets — torture tests use a tiny
+  // buffer to force partial writes through the backpressure path.
+  int accepted_sndbuf = 0;
+  // Time source for request stamps and deadline sweeps. Defaults to an
+  // internal WallClock; the daemon passes the clock its ProxyServer uses
+  // so both layers agree on "now".
+  const SimClock* clock = nullptr;
+};
+
+class NetServer {
+ public:
+  // The handler is invoked on worker threads, one call per request.
+  NetServer(NetServerConfig config, NetHandler handler);
+  ~NetServer();  // Stops hard if still running.
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Optional; call before Start. Registers robodet_net_* metrics.
+  void BindMetrics(MetricsRegistry* registry);
+
+  // Binds listeners and launches worker threads. False (with `error` set)
+  // when a socket or loop could not be created; no threads leak.
+  bool Start(std::string* error);
+
+  // The bound port (after Start); with config.port == 0 this is the
+  // kernel-assigned port every worker's listener shares.
+  uint16_t port() const { return port_; }
+
+  // Graceful shutdown: stop accepting, let in-flight requests finish with
+  // Connection: close, force-close whatever remains after drain_timeout.
+  // Worker threads exit when their last connection is gone.
+  void BeginDrain();
+
+  // Blocks until every worker thread has exited. BeginDrain + Wait is the
+  // graceful path; Stop + Wait the immediate one.
+  void Wait();
+
+  // Hard stop: abandon open connections (kernel RSTs them on close).
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t shed_rejected = 0;  // Newcomers answered with canned 503.
+    uint64_t shed_evicted = 0;   // Idle robot connections closed for room.
+    uint64_t timeouts_read = 0;
+    uint64_t timeouts_idle = 0;
+    uint64_t timeouts_write = 0;
+    uint64_t requests = 0;
+    uint64_t parse_errors = 0;
+    uint64_t open = 0;  // Currently open connections, all workers.
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Worker {
+    EventLoop loop;
+    ListenSocket listener;
+    std::thread thread;
+    // Keyed by fd; loop-thread only.
+    std::unordered_map<int, std::unique_ptr<NetConnection>> conns;
+    bool listener_open = false;
+    TimeMs drain_deadline = 0;
+
+    // Written on the loop thread, read by GetStats.
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> shed_rejected{0};
+    std::atomic<uint64_t> shed_evicted{0};
+    std::atomic<uint64_t> timeouts_read{0};
+    std::atomic<uint64_t> timeouts_idle{0};
+    std::atomic<uint64_t> timeouts_write{0};
+    std::atomic<uint64_t> open{0};
+  };
+
+  void RunWorker(Worker* worker);
+  void HandleAccept(Worker* worker);
+  void AdmitConnection(Worker* worker, AcceptedSocket accepted);
+  void HandleConnEvent(Worker* worker, int fd, uint32_t events);
+  void SweepDeadlines(Worker* worker, TimeMs now);
+  void DestroyConn(Worker* worker, int fd);
+  void RegisterConn(Worker* worker, std::unique_ptr<NetConnection> conn);
+  void UpdateInterest(Worker* worker, int fd, NetConnection* conn);
+
+  NetServerConfig config_;
+  NetHandler handler_;
+  // Request/byte counters shared by every connection on every worker.
+  // Incremented at event time (before response bytes reach the peer), so a
+  // client that has seen a response can never scrape a count excluding it.
+  NetStatsSink sink_;
+  size_t per_worker_cap_ = 1;
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_{false};
+
+  // Bound lazily; null pointers mean "no registry" (IncIfBound no-ops).
+  // Request/parse-error/byte mirrors live in sink_.
+  Counter* m_accepted_ = nullptr;
+  Counter* m_shed_rejected_ = nullptr;
+  Counter* m_shed_evicted_ = nullptr;
+  Counter* m_timeout_read_ = nullptr;
+  Counter* m_timeout_idle_ = nullptr;
+  Counter* m_timeout_write_ = nullptr;
+  Gauge* m_open_ = nullptr;
+
+  WallClock own_clock_;
+  const SimClock* clock_ = nullptr;  // config_.clock or &own_clock_.
+};
+
+}  // namespace robodet
+
+#endif  // ROBODET_SRC_NET_SERVER_H_

@@ -45,6 +45,13 @@
 #include "src/ml/features.h"
 #include "src/ml/metrics.h"
 #include "src/ml/naive_bayes.h"
+#include "src/net/client_lock.h"
+#include "src/net/connection.h"
+#include "src/net/event_loop.h"
+#include "src/net/framer.h"
+#include "src/net/loadgen.h"
+#include "src/net/server.h"
+#include "src/net/socket.h"
 #include "src/obs/exporters.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"

@@ -1,9 +1,13 @@
 // Simulated time. The whole system is driven by a millisecond counter so
 // that experiments covering "one week of CoDeeN traffic" or "a year of
 // deployment" run in milliseconds of wall time and are fully reproducible.
+// WallClock implements the same read interface over the real monotonic
+// clock, which is how the network daemon drives components built against
+// SimClock without changing them.
 #ifndef ROBODET_SRC_UTIL_CLOCK_H_
 #define ROBODET_SRC_UTIL_CLOCK_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -23,13 +27,17 @@ inline constexpr TimeMs kMonth = 30 * kDay;
 
 // A monotonically advancing simulated clock shared by the components of one
 // experiment. Components hold a pointer and never advance it themselves;
-// only the simulation driver does.
+// only the simulation driver does. Now() is virtual so that WallClock can
+// substitute real time behind the same pointer; everything that merely
+// *reads* time (deadlines, breakers, session idle splitting, persistence
+// timestamps) works against either.
 class SimClock {
  public:
   SimClock() = default;
   explicit SimClock(TimeMs start) : now_(start) {}
+  virtual ~SimClock() = default;
 
-  TimeMs Now() const { return now_; }
+  virtual TimeMs Now() const { return now_; }
 
   // Advances time; negative deltas are ignored (time never goes backwards).
   void Advance(TimeMs delta) {
@@ -47,6 +55,26 @@ class SimClock {
 
  private:
   TimeMs now_ = 0;
+};
+
+// Real time behind the SimClock read interface: milliseconds elapsed on the
+// steady (monotonic) clock since construction. Epoch-relative like SimClock
+// — a daemon's time starts at 0 on startup — and immune to wall-clock
+// steps (NTP, DST). Advance/AdvanceTo are inherited no-ops in effect:
+// reads never consult the simulated counter, so simulation drivers cannot
+// skew a live deployment's time.
+class WallClock : public SimClock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TimeMs Now() const override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
 };
 
 // Renders a duration as e.g. "2d 03:14:07.250" for logs.

@@ -83,11 +83,77 @@ TEST(WireResponseTest, ReasonPhraseOptionalAndMultiWord) {
   EXPECT_TRUE(ParseResponseText("HTTP/1.1 500 Internal Server Error\r\n\r\n"));
 }
 
-TEST(WireResponseTest, ChunkedRejectedExplicitly) {
+TEST(WireChunkedTest, DecodesSingleChunk) {
   const auto result = ParseResponseText(
       "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n");
-  ASSERT_FALSE(result);
-  EXPECT_NE(result.error.message.find("chunked"), std::string::npos);
+  ASSERT_TRUE(result) << result.error.message;
+  EXPECT_EQ(result.value->body, "hello");
+  // Rewritten to identity framing for round-trip fidelity.
+  EXPECT_FALSE(result.value->headers.Has("Transfer-Encoding"));
+  EXPECT_EQ(result.value->headers.Get("Content-Length"), "5");
+}
+
+TEST(WireChunkedTest, ConcatenatesChunksWithHexSizesAndExtensions) {
+  const auto result = ParseResponseText(
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: text/html\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "6;name=value\r\n<html>\r\n"
+      "A\r\n0123456789\r\n"
+      "7\r\n</html>\r\n"
+      "0\r\n"
+      "\r\n");
+  ASSERT_TRUE(result) << result.error.message;
+  EXPECT_EQ(result.value->body, "<html>0123456789</html>");
+  EXPECT_EQ(result.value->headers.Get("Content-Length"), "23");
+  EXPECT_TRUE(result.value->IsHtml());
+}
+
+TEST(WireChunkedTest, TrailerFieldsAppendToHeaders) {
+  const auto result = ParseResponseText(
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n"
+      "0\r\n"
+      "X-Checksum: 99\r\n"
+      "\r\n");
+  ASSERT_TRUE(result) << result.error.message;
+  EXPECT_EQ(result.value->body, "abc");
+  EXPECT_EQ(result.value->headers.Get("X-Checksum"), "99");
+}
+
+TEST(WireChunkedTest, RejectsHostileChunkStreams) {
+  const char* const kPrefix = "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n";
+  const auto parse = [&](const std::string& body) {
+    return ParseResponseText(std::string(kPrefix) + body);
+  };
+  EXPECT_FALSE(parse(""));                      // No chunk-size line.
+  EXPECT_FALSE(parse("zz\r\nhello\r\n0\r\n\r\n"));  // Junk size.
+  EXPECT_FALSE(parse("5\r\nhel"));              // Truncated data.
+  EXPECT_FALSE(parse("5\r\nhello0\r\n\r\n"));   // Missing chunk CRLF.
+  EXPECT_FALSE(parse("3\r\nabc\r\n0\r\n"));     // Truncated trailer block.
+  EXPECT_FALSE(parse("ffffffffffffffffff\r\n"));  // Size overflow.
+  // Declared chunk far beyond the body cap dies on the declaration, not on
+  // an attempted 16 MB+ allocation.
+  EXPECT_FALSE(parse("fffffff\r\n"));
+}
+
+TEST(WireKeepAliveTest, ConnectionHeaderSemantics) {
+  Headers none;
+  EXPECT_TRUE(WantKeepAlive(none, /*http11=*/true));
+  EXPECT_FALSE(WantKeepAlive(none, /*http11=*/false));
+  Headers close;
+  close.Set("Connection", "close");
+  EXPECT_FALSE(WantKeepAlive(close, true));
+  Headers keep;
+  keep.Set("Connection", "keep-alive");
+  EXPECT_TRUE(WantKeepAlive(keep, false));
+  Headers mixed;
+  mixed.Set("Connection", "Keep-Alive, Upgrade");
+  EXPECT_TRUE(WantKeepAlive(mixed, false));
+  Headers shouty;
+  shouty.Set("Connection", "CLOSE");
+  EXPECT_FALSE(WantKeepAlive(shouty, true));
 }
 
 TEST(WireResponseTest, Errors) {
@@ -120,6 +186,48 @@ TEST(WireRoundTripTest, ResponseSurvives) {
   EXPECT_EQ(parsed.value->status, response.status);
   EXPECT_EQ(parsed.value->body, response.body);
   EXPECT_EQ(parsed.value->headers.Get("Cache-Control"), "no-cache, no-store");
+}
+
+TEST(WireRoundTripTest, SerializeReplacesStaleFraming) {
+  // A response whose headers lie about the body (stale Content-Length from
+  // an upstream rewrite, leftover Transfer-Encoding) serializes with the
+  // *actual* length, so the parse recovers the full body.
+  Response response;
+  response.status = StatusCode::kOk;
+  response.headers.Set("Content-Length", "3");
+  response.headers.Set("Transfer-Encoding", "chunked");
+  response.headers.Set("Connection", "keep-alive");
+  response.body = "twelve bytes";
+  const std::string wire = SerializeResponse(response);
+  const auto parsed = ParseResponseText(wire);
+  ASSERT_TRUE(parsed) << parsed.error.message;
+  EXPECT_EQ(parsed.value->body, "twelve bytes");
+  EXPECT_EQ(parsed.value->headers.Get("Content-Length"), "12");
+  EXPECT_FALSE(parsed.value->headers.Has("Transfer-Encoding"));
+  EXPECT_EQ(parsed.value->headers.Get("Connection"), "keep-alive");
+}
+
+TEST(WireRoundTripTest, EmptyBodyFraming) {
+  // A 200 with no body still states Content-Length: 0 (keep-alive framing);
+  // bodyless statuses omit it entirely.
+  Response ok;
+  EXPECT_NE(SerializeResponse(ok).find("Content-Length: 0"), std::string::npos);
+  Response no_content;
+  no_content.status = StatusCode::kNoContent;
+  EXPECT_EQ(SerializeResponse(no_content).find("Content-Length"), std::string::npos);
+  Response not_modified;
+  not_modified.status = StatusCode::kNotModified;
+  EXPECT_EQ(SerializeResponse(not_modified).find("Content-Length"), std::string::npos);
+
+  // Requests: GETs stay Content-Length-free, bodies get an accurate one.
+  Request get;
+  get.url = *Url::Parse("http://e.com/");
+  EXPECT_EQ(SerializeRequest(get).find("Content-Length"), std::string::npos);
+  Request post;
+  post.method = Method::kPost;
+  post.url = *Url::Parse("http://e.com/submit");
+  post.body = "a=1&b=2";
+  EXPECT_NE(SerializeRequest(post).find("Content-Length: 7"), std::string::npos);
 }
 
 // The adoption path: raw wire request in, proxy verdict machinery engaged.

@@ -1,5 +1,8 @@
 #include "src/util/clock.h"
 
+#include <chrono>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 namespace robodet {
@@ -28,6 +31,45 @@ TEST(SimClockTest, AdvanceToOnlyForward) {
   EXPECT_EQ(c.Now(), 100);
   c.AdvanceTo(200);
   EXPECT_EQ(c.Now(), 200);
+}
+
+TEST(WallClockTest, StartsNearZeroAndTracksRealTime) {
+  WallClock c;
+  const TimeMs start = c.Now();
+  EXPECT_GE(start, 0);
+  EXPECT_LT(start, kSecond);  // Construction-to-read is far under a second.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(c.Now(), start + 15);  // Advanced with real time (slack for coarse timers).
+}
+
+TEST(WallClockTest, MonotonicReads) {
+  WallClock c;
+  TimeMs last = c.Now();
+  for (int i = 0; i < 1000; ++i) {
+    const TimeMs now = c.Now();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(WallClockTest, SimulationAdvancesDoNotSkewReads) {
+  // A driver calling Advance through the base pointer must not move a live
+  // clock: reads come from the monotonic clock alone.
+  WallClock wall;
+  SimClock* as_sim = &wall;
+  as_sim->Advance(kDay);
+  as_sim->AdvanceTo(2 * kDay);
+  EXPECT_LT(as_sim->Now(), kMinute);
+}
+
+TEST(WallClockTest, UsableBehindSimClockPointer) {
+  // The adopter pattern: component code written against SimClock* reads
+  // wall time when handed a WallClock.
+  WallClock wall;
+  const SimClock* clock = &wall;
+  const TimeMs deadline = clock->Now() + 5;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GT(clock->Now(), deadline);
 }
 
 TEST(ClockConstantsTest, Relationships) {

@@ -1,0 +1,68 @@
+// robodet_loadgen: closed-loop HTTP/1.1 load against a robodet_serve (or
+// any HTTP server) with throughput and latency quantile reporting.
+//
+//   robodet_loadgen --port=8080 --connections=8 --requests=200
+//   robodet_loadgen --port=8080 --duration-ms=3000 --paths=/page/0.html,/page/1.html
+//
+// Exits nonzero when nothing completed (server down) so CI smoke jobs can
+// gate on it directly.
+#include <cstdio>
+
+#include "src/net/loadgen.h"
+#include "src/util/strings.h"
+#include "tools/flags.h"
+
+namespace robodet {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: robodet_loadgen --port=PORT [--target=127.0.0.1]\n"
+    "       [--connections=4] [--requests=100] [--duration-ms=0]\n"
+    "       [--paths=/,/page/0.html] [--user-agent=UA] [--host=localhost]\n"
+    "       [--no-keep-alive] [--no-distinct-clients] [--think-ms=0]\n"
+    "       [--key-values=PREFIX]   (emit bench key=value lines instead)\n";
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.GetBool("help") || flags.GetInt("port", 0) == 0) {
+    std::fputs(kUsage, stderr);
+    return flags.GetBool("help") ? 0 : 1;
+  }
+
+  LoadGenConfig config;
+  config.target_ip = flags.GetString("target", "127.0.0.1");
+  config.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  config.connections = static_cast<int>(flags.GetInt("connections", 4));
+  config.requests_per_connection = static_cast<int>(flags.GetInt("requests", 100));
+  config.duration = flags.GetInt("duration-ms", 0);
+  config.user_agent = flags.GetString("user-agent", "robodet-loadgen/1.0");
+  config.host = flags.GetString("host", "localhost");
+  config.keep_alive = !flags.GetBool("no-keep-alive");
+  config.distinct_clients = !flags.GetBool("no-distinct-clients");
+  config.think_time = flags.GetInt("think-ms", 0);
+  const std::string paths = flags.GetString("paths", "/");
+  config.paths.clear();
+  for (const std::string& path : Split(paths, ',')) {
+    if (!path.empty()) {
+      config.paths.push_back(path);
+    }
+  }
+  if (config.paths.empty()) {
+    config.paths.push_back("/");
+  }
+
+  const LoadGenReport report = RunLoadGen(config);
+  const std::string prefix = flags.GetString("key-values", "");
+  if (!prefix.empty()) {
+    std::fputs(report.KeyValues(prefix).c_str(), stdout);
+  } else {
+    std::fputs(report.Summary().c_str(), stdout);
+  }
+  const uint64_t completed = report.responses_2xx + report.responses_other;
+  return completed > 0 ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace robodet
+
+int main(int argc, char** argv) { return robodet::Main(argc, argv); }
